@@ -1,0 +1,55 @@
+// Ablation: C2-classifier precision. CnCHunter reports ~90% precision for
+// C2-bound traffic detection [17]; our samples carry benign periodic
+// telemetry beacons that repeat exactly like C2 rendezvous. With the
+// HTTP-flow heuristic disabled the naive classifier confuses them; enabled
+// (the default) it recovers precision. Measured against world ground truth.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/c2detect.hpp"
+#include "emu/sandbox.hpp"
+#include "util/str.hpp"
+
+int main() {
+  using namespace malnet;
+  bench::banner("Ablation A5", "C2 classifier precision vs the HTTP heuristic");
+
+  for (const bool filter_http : {false, true}) {
+    sim::EventScheduler sched;
+    sim::Network net(sched);
+    botnet::WorldConfig wc;
+    wc.seed = 22;
+    wc.total_samples = 250;
+    wc.telemetry_fraction = 0.25;  // pressure the classifier
+    botnet::World world(net, wc);
+    emu::Sandbox sandbox(net);
+
+    int tp = 0, fp = 0;
+    std::size_t analysed = 0;
+    core::C2DetectOptions dopts;
+    dopts.filter_http_flows = filter_http;
+
+    for (const auto& sample : world.samples()) {
+      if (sample.truth_arch != mal::Arch::kMips32) continue;
+      if (++analysed > 150) break;
+      emu::SandboxReport report;
+      sandbox.start(sample.binary, {}, [&](const emu::SandboxReport& r) { report = r; });
+      sched.run_until(sched.now() + sim::Duration::minutes(12));
+      for (const auto& cand : core::detect_c2(report, sandbox.martian(), dopts)) {
+        // Ground truth: is this one of the sample's real C2 addresses?
+        bool truth = false;
+        for (const auto& ref : sample.truth_c2_refs) truth |= ref == cand.address;
+        (truth ? tp : fp)++;
+      }
+    }
+    const double precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0;
+    std::cout << (filter_http ? "HTTP heuristic ON : " : "HTTP heuristic OFF: ")
+              << "TP=" << util::pad_left(std::to_string(tp), 4)
+              << "  FP=" << util::pad_left(std::to_string(fp), 4)
+              << "  precision=" << util::percent(precision) << '\n';
+  }
+  std::cout << "\nExpected shape: the naive classifier sits near the ~90% precision\n"
+               "CnCHunter reports; the HTTP heuristic removes the benign-beacon\n"
+               "false positives.\n";
+  return 0;
+}

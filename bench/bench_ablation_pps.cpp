@@ -1,0 +1,73 @@
+// Ablation: the behavioural DDoS-detection threshold (§2.5b fixes 100 pps).
+// Replays one live capture through detect_ddos at different thresholds.
+#include <iostream>
+
+#include "botnet/c2server.hpp"
+#include "common.hpp"
+#include "core/ddos.hpp"
+#include "emu/sandbox.hpp"
+#include "mal/binary.hpp"
+#include "util/str.hpp"
+
+int main() {
+  using namespace malnet;
+  bench::banner("Ablation A2", "behavioural pps threshold (§2.5b)");
+
+  // Build one live-run capture: a C2 that issues commands in an unprofiled
+  // grammar, so only the behavioural method can recover them.
+  sim::EventScheduler sched;
+  sim::Network net(sched);
+  botnet::C2ServerConfig cfg;
+  cfg.family = proto::Family::kMirai;
+  cfg.ip = net::Ipv4{60, 1, 2, 3};
+  cfg.port = 23;
+  cfg.accept_prob = 1.0;
+  proto::AttackCommand atk;
+  atk.type = proto::AttackType::kUdpFlood;
+  atk.target = {net::Ipv4{203, 0, 113, 9}, 8080};
+  atk.duration_s = 30;
+  cfg.attack_plan = {atk};
+  botnet::C2Server server(net, cfg, util::Rng(1));
+
+  mal::MbfBinary bin;
+  bin.behavior.family = proto::Family::kMirai;
+  bin.behavior.c2_ip = cfg.ip;
+  bin.behavior.c2_port = 23;
+  // A scan task adds ~10 pps of legitimate-rate noise the heuristic must
+  // not confuse with an attack.
+  bin.behavior.scans.push_back({23, std::nullopt, 60, 10.0});
+  util::Rng rng(2);
+
+  emu::Sandbox sandbox(net);
+  emu::SandboxOptions opts;
+  opts.mode = emu::SandboxMode::kLive;
+  opts.duration = sim::Duration::minutes(40);
+  opts.allowed_c2 = net::Endpoint{cfg.ip, 23};
+  opts.attack_pps = 200.0;
+
+  emu::SandboxReport report;
+  sandbox.start(mal::forge(bin, rng), opts,
+                [&](const emu::SandboxReport& r) { report = r; });
+  sched.run_until(sched.now() + sim::Duration::hours(1));
+
+  std::cout << util::pad_left("pps-threshold", 14) << util::pad_left("detections", 12)
+            << util::pad_left("verified", 10) << util::pad_left("false-pos", 11) << '\n';
+  for (const double threshold : {10.0, 25.0, 50.0, 100.0, 150.0, 250.0, 400.0}) {
+    core::DdosDetectOptions dopts;
+    dopts.pps_threshold = threshold;
+    const auto dets = core::detect_ddos(report, *opts.allowed_c2, std::nullopt, dopts);
+    int verified = 0, fp = 0;
+    for (const auto& d : dets) {
+      if (d.verified) ++verified;
+      if (d.command.target.ip != atk.target.ip) ++fp;
+    }
+    std::cout << util::pad_left(util::fixed(threshold, 0), 14)
+              << util::pad_left(std::to_string(dets.size()), 12)
+              << util::pad_left(std::to_string(verified), 10)
+              << util::pad_left(std::to_string(fp), 11) << '\n';
+  }
+  std::cout << "\nExpected shape: thresholds below scan rates admit false positives;\n"
+               "thresholds above the generated attack rate (200 pps) miss the attack.\n"
+               "The paper's 100 pps sits in the wide stable window between them.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: probing cadence. §3.2 concludes an active probing study "should
+// be persistent and probe frequently". Sweeps the probe interval over a
+// fixed two-day window and reports how much C2 liveness each cadence sees.
+#include <iostream>
+
+#include "botnet/probe_world.hpp"
+#include "common.hpp"
+#include "core/prober.hpp"
+#include "emu/sandbox.hpp"
+#include "mal/binary.hpp"
+#include "report/summary.hpp"
+#include "util/str.hpp"
+
+int main() {
+  using namespace malnet;
+  bench::banner("Ablation A3", "probe cadence vs detected liveness (§3.2)");
+
+  std::cout << util::pad_left("interval", 10) << util::pad_left("rounds", 8)
+            << util::pad_left("servers-found", 15) << util::pad_left("resp-rate", 11)
+            << util::pad_left("2nd-probe-miss", 16) << '\n';
+
+  for (const int hours : {1, 2, 4, 8, 12}) {
+    sim::EventScheduler sched;
+    sim::Network net(sched);
+    emu::Sandbox sandbox(net);
+    botnet::ProbeWorldConfig wc;
+    wc.seed = 5;
+    auto world = botnet::build_probe_world(net, wc);
+
+    std::vector<core::Weapon> weapons;
+    for (const auto family : {proto::Family::kGafgyt, proto::Family::kMirai}) {
+      mal::MbfBinary bin;
+      bin.behavior.family = family;
+      bin.behavior.c2_ip = net::Ipv4{60, 1, 1, 1};
+      bin.behavior.c2_port = 23;
+      util::Rng rng(static_cast<std::uint64_t>(family) + 3);
+      weapons.push_back(core::Weapon{mal::forge(bin, rng), {net::Ipv4{60, 1, 1, 1}, 23}});
+    }
+
+    core::ProbeCampaignConfig pc;
+    for (const auto& s : world.subnets) pc.subnets.push_back(s);
+    pc.ports = botnet::table5_ports();
+    pc.interval = sim::Duration::hours(hours);
+    pc.rounds = static_cast<int>(14 * 24 / hours);  // fixed two-week window
+
+    core::ProbeCampaignResult result;
+    bool done = false;
+    core::ProbeCampaign campaign(net, sandbox, pc, std::move(weapons),
+                                 [&](core::ProbeCampaignResult r) {
+                                   result = std::move(r);
+                                   done = true;
+                                 });
+    campaign.start();
+    const auto deadline = sched.now() + sim::Duration::days(16);
+    while (!done && sched.now() < deadline) {
+      sched.run_until(sched.now() + sim::Duration::hours(2));
+    }
+    const auto ps = report::probe_stats(result, 24 / hours);
+    std::cout << util::pad_left(std::to_string(hours) + "h", 10)
+              << util::pad_left(std::to_string(result.rounds), 8)
+              << util::pad_left(std::to_string(ps.targets), 15)
+              << util::pad_left(util::percent(ps.response_rate), 11)
+              << util::pad_left(util::percent(ps.second_probe_nonresponse), 16) << '\n';
+  }
+  std::cout << "\nExpected shape: sparser cadences find fewer of the 7 elusive servers\n"
+               "over the same two weeks — the paper's 'probe frequently' conclusion.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: the handshaker port threshold (§2.4 fixes it at 20 distinct
+// destinations). Sweeps the threshold on a scaled-down study and reports
+// how the exploit harvest responds — the paper's "value 20 ... gives good
+// results" claim, quantified.
+#include <iostream>
+#include <set>
+
+#include "common.hpp"
+#include "util/str.hpp"
+
+int main() {
+  using namespace malnet;
+  bench::banner("Ablation A1", "handshaker distinct-destination threshold (§2.4)");
+
+  std::cout << util::pad_left("threshold", 10) << util::pad_left("exploit-samples", 17)
+            << util::pad_left("vulns", 7) << util::pad_left("records", 9) << '\n';
+  for (const int threshold : {5, 10, 20, 40, 60, 90}) {
+    core::PipelineConfig cfg;
+    cfg.seed = 22;
+    cfg.world.total_samples = 400;
+    cfg.handshaker_threshold = threshold;
+    cfg.run_probe_campaign = false;
+    core::Pipeline pipeline(cfg);
+    const auto results = pipeline.run();
+
+    std::set<std::string> samples;
+    std::set<int> vulns;
+    for (const auto& e : results.d_exploits) {
+      samples.insert(e.sample_sha);
+      vulns.insert(static_cast<int>(e.vuln));
+    }
+    std::cout << util::pad_left(std::to_string(threshold), 10)
+              << util::pad_left(std::to_string(samples.size()), 17)
+              << util::pad_left(std::to_string(vulns.size()), 7)
+              << util::pad_left(std::to_string(results.d_exploits.size()), 9) << '\n';
+  }
+  std::cout << "\nExpected shape: the harvest saturates below the typical sweep size\n"
+               "(40-80 targets) and collapses once the threshold exceeds it — the\n"
+               "paper's choice of 20 sits on the plateau.\n";
+  return 0;
+}

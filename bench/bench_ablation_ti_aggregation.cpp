@@ -1,0 +1,54 @@
+// Ablation: threat-intelligence aggregation. §3.3: "for lower false
+// negatives, an effective blacklist needs to aggregate data from multiple
+// sources". Measures same-day coverage of the study's C2s using the single
+// best feed, the union of the top-k feeds, and the full aggregate.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "intel/threat_intel.hpp"
+#include "util/str.hpp"
+
+int main() {
+  using namespace malnet;
+  bench::banner("Ablation A4", "blacklist aggregation across TI feeds (§3.3)");
+
+  const auto& results = bench::full_study();
+  const auto& ti = bench::full_pipeline().ti();
+
+  // Rank vendors by their eventual coverage over discovered C2s.
+  std::vector<std::string> addresses;
+  std::vector<std::int64_t> days;
+  for (const auto& [addr, rec] : results.d_c2s) {
+    addresses.push_back(addr);
+    days.push_back(rec.discovery_day);
+  }
+  const auto counts = ti.vendor_counts(addresses, 404);
+  std::vector<std::size_t> order(counts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return counts[a].second > counts[b].second;
+  });
+
+  std::cout << util::pad_left("feeds used", 12) << util::pad_left("same-day coverage", 19)
+            << "\n";
+  for (const int k : {1, 2, 4, 8, 16, 44}) {
+    int covered = 0;
+    for (std::size_t i = 0; i < addresses.size(); ++i) {
+      bool flagged = false;
+      for (int v = 0; v < k && !flagged; ++v) {
+        flagged = ti.vendor_flags(order[static_cast<std::size_t>(v)], addresses[i],
+                                  days[i]);
+      }
+      if (flagged) ++covered;
+    }
+    std::cout << util::pad_left("top-" + std::to_string(k), 12)
+              << util::pad_left(
+                     util::percent(static_cast<double>(covered) / addresses.size()), 19)
+              << '\n';
+  }
+  std::cout << "\nExpected shape: single-feed same-day coverage is poor; the union\n"
+               "keeps improving well past the first few feeds — aggregation pays.\n";
+  return 0;
+}

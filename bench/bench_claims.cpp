@@ -1,0 +1,18 @@
+// The reproduction's self-test: every headline scalar claim from the
+// paper's abstract and sections 3-5, measured vs stated, with explicit
+// tolerances. This is the one bench to read first.
+#include <iostream>
+
+#include "common.hpp"
+#include "report/claims.hpp"
+
+int main() {
+  using namespace malnet;
+  bench::banner("Headline claims", "abstract + section 3-5 scalar findings");
+  const auto checks =
+      report::check_claims(bench::full_study(), bench::full_pipeline().asdb());
+  std::cout << report::render_claims(checks);
+  int misses = 0;
+  for (const auto& c : checks) misses += c.pass ? 0 : 1;
+  return misses == 0 ? 0 : 1;
+}

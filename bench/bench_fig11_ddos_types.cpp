@@ -1,0 +1,16 @@
+// Auto-structured reproduction bench; see DESIGN.md experiment index.
+#include <iostream>
+
+#include "common.hpp"
+#include "report/figures.hpp"
+#include "report/tables.hpp"
+
+int main() {
+  using namespace malnet;
+  bench::banner("Figure 11", "DDoS attack types by family");
+  const auto& r = bench::full_study();
+  const auto& p = bench::full_pipeline();
+  (void)p;
+  std::cout << report::figure11_ddos_types(r, p.asdb()) << std::endl;
+  return 0;
+}

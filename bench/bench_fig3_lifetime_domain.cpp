@@ -1,0 +1,16 @@
+// Auto-structured reproduction bench; see DESIGN.md experiment index.
+#include <iostream>
+
+#include "common.hpp"
+#include "report/figures.hpp"
+#include "report/tables.hpp"
+
+int main() {
+  using namespace malnet;
+  bench::banner("Figure 3", "CDF of C2 domain lifetimes");
+  const auto& r = bench::full_study();
+  const auto& p = bench::full_pipeline();
+  (void)p;
+  std::cout << report::figure3_lifetime_domain(r) << std::endl;
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 4 + Table 5: the two-week active probing study (D-PC2).
+#include <iostream>
+
+#include "botnet/probe_world.hpp"
+#include "common.hpp"
+#include "report/figures.hpp"
+
+int main() {
+  using namespace malnet;
+  bench::banner("Figure 4 / Table 5", "C2 probe responsiveness (D-PC2)");
+
+  std::cout << "Table 5: probed ports:";
+  for (const auto p : botnet::table5_ports()) std::cout << ' ' << p;
+  std::cout << "  (6 /24 subnets, 4-hour interval, 84 rounds)\n\n";
+
+  const auto& r = bench::full_study();
+  std::cout << report::figure4_probe_raster(r) << std::endl;
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Auto-structured reproduction bench; see DESIGN.md experiment index.
+#include <iostream>
+
+#include "common.hpp"
+#include "report/figures.hpp"
+#include "report/tables.hpp"
+
+int main() {
+  using namespace malnet;
+  bench::banner("Figure 6", "CDF of binaries per C2 domain");
+  const auto& r = bench::full_study();
+  const auto& p = bench::full_pipeline();
+  (void)p;
+  std::cout << report::figure6_samples_per_domain(r) << std::endl;
+  return 0;
+}

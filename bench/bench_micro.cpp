@@ -1,0 +1,93 @@
+// google-benchmark microbenchmarks for the substrate hot paths: the event
+// scheduler, packet wire serialization, protocol codecs and the RNG.
+#include <benchmark/benchmark.h>
+
+#include "net/packet.hpp"
+#include "proto/gafgyt.hpp"
+#include "proto/mirai.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+using namespace malnet;
+
+static void BM_SchedulerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventScheduler sched;
+    const auto n = state.range(0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      sched.after(sim::Duration::micros(i % 1000), [] {});
+    }
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerChurn)->Arg(1000)->Arg(10000);
+
+static void BM_PacketWireRoundTrip(benchmark::State& state) {
+  net::Packet p;
+  p.src = net::Ipv4{10, 0, 0, 1};
+  p.dst = net::Ipv4{10, 0, 0, 2};
+  p.proto = net::Protocol::kTcp;
+  p.src_port = 49152;
+  p.dst_port = 23;
+  p.payload = util::Bytes(static_cast<std::size_t>(state.range(0)), 0x41);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::from_wire(net::to_wire(p)));
+  }
+  state.SetBytesProcessed(state.iterations() * (20 + 20 + state.range(0)));
+}
+BENCHMARK(BM_PacketWireRoundTrip)->Arg(1)->Arg(128)->Arg(1400);
+
+static void BM_MiraiAttackCodec(benchmark::State& state) {
+  proto::AttackCommand cmd;
+  cmd.type = proto::AttackType::kSynFlood;
+  cmd.target = {net::Ipv4{203, 0, 113, 9}, 443};
+  cmd.duration_s = 60;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::mirai::decode_attack(proto::mirai::encode_attack(cmd)));
+  }
+}
+BENCHMARK(BM_MiraiAttackCodec);
+
+static void BM_GafgytAttackCodec(benchmark::State& state) {
+  proto::AttackCommand cmd;
+  cmd.type = proto::AttackType::kUdpFlood;
+  cmd.target = {net::Ipv4{203, 0, 113, 9}, 80};
+  cmd.duration_s = 60;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::gafgyt::decode_attack(proto::gafgyt::encode_attack(cmd)));
+  }
+}
+BENCHMARK(BM_GafgytAttackCodec);
+
+static void BM_TcpEcho(benchmark::State& state) {
+  // Full simulated TCP session: connect, one request/response, close.
+  for (auto _ : state) {
+    sim::EventScheduler sched;
+    sim::Network net(sched);
+    sim::Host server(net, net::Ipv4{10, 0, 0, 1});
+    sim::Host client(net, net::Ipv4{10, 0, 0, 2});
+    server.tcp_listen(80, [](sim::TcpConn& c) {
+      c.on_data([](sim::TcpConn& conn, util::BytesView d) {
+        conn.send(d);
+        conn.close();
+      });
+    });
+    client.tcp_connect({server.addr(), 80}, [](sim::ConnectOutcome, sim::TcpConn* c) {
+      if (c != nullptr) c->send(std::string_view("ping"));
+    });
+    benchmark::DoNotOptimize(sched.run());
+  }
+}
+BENCHMARK(BM_TcpEcho);
+
+static void BM_RngZipf(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.zipf(static_cast<std::uint64_t>(state.range(0)), 0.85));
+  }
+}
+BENCHMARK(BM_RngZipf)->Arg(64)->Arg(1024);
+
+BENCHMARK_MAIN();

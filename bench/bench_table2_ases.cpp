@@ -1,0 +1,16 @@
+// Auto-structured reproduction bench; see DESIGN.md experiment index.
+#include <iostream>
+
+#include "common.hpp"
+#include "report/figures.hpp"
+#include "report/tables.hpp"
+
+int main() {
+  using namespace malnet;
+  bench::banner("Table 2", "top-10 C2-hosting ASes");
+  const auto& r = bench::full_study();
+  const auto& p = bench::full_pipeline();
+  (void)p;
+  std::cout << report::table2_top_ases(r, p.asdb()) << std::endl;
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Auto-structured reproduction bench; see DESIGN.md experiment index.
+#include <iostream>
+
+#include "common.hpp"
+#include "report/figures.hpp"
+#include "report/tables.hpp"
+
+int main() {
+  using namespace malnet;
+  bench::banner("Table 7", "per-vendor C2 detection counts");
+  const auto& r = bench::full_study();
+  const auto& p = bench::full_pipeline();
+  (void)p;
+  std::cout << report::table7_vendors(r, p.ti(), 404) << std::endl;
+  return 0;
+}

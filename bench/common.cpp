@@ -1,0 +1,37 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+namespace malnet::bench {
+
+core::PipelineConfig paper_config() {
+  core::PipelineConfig cfg;
+  cfg.seed = 22;  // the study seed; all tables/figures regenerate from it
+  return cfg;
+}
+
+namespace {
+core::Pipeline& pipeline_instance() {
+  static core::Pipeline pipeline(paper_config());
+  return pipeline;
+}
+}  // namespace
+
+const core::StudyResults& full_study() {
+  static const core::StudyResults kResults = pipeline_instance().run();
+  return kResults;
+}
+
+const core::Pipeline& full_pipeline() {
+  (void)full_study();
+  return pipeline_instance();
+}
+
+void banner(const char* experiment_id, const char* what) {
+  std::printf("=== MalNet reproduction: %s — %s ===\n", experiment_id, what);
+  std::printf("(deterministic full-study run, seed %llu; paper values shown "
+              "for comparison)\n\n",
+              static_cast<unsigned long long>(paper_config().seed));
+}
+
+}  // namespace malnet::bench

@@ -1,0 +1,22 @@
+// Shared harness for the reproduction benches: runs the paper-scale study
+// once per process and hands out the datasets. Every bench prints measured
+// values next to the paper's, per the experiment index in DESIGN.md.
+#pragma once
+
+#include "core/pipeline.hpp"
+
+namespace malnet::bench {
+
+/// The paper-scale configuration: 1447 samples, full probing campaign.
+[[nodiscard]] core::PipelineConfig paper_config();
+
+/// Runs (once per process) and returns the full-study datasets.
+[[nodiscard]] const core::StudyResults& full_study();
+
+/// The pipeline behind full_study() (for asdb / threat-intel access).
+[[nodiscard]] const core::Pipeline& full_pipeline();
+
+/// Standard bench banner.
+void banner(const char* experiment_id, const char* what);
+
+}  // namespace malnet::bench

@@ -1,0 +1,47 @@
+// intel_export: the deployment story of §1 ("Potential Impact") — run a
+// study, then turn its datasets into artifacts a defender can actually
+// ship: a SNORT ruleset (self-checked through the in-tree IDS parser), an
+// iptables fragment and a plain blocklist.
+#include <fstream>
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "report/rules_export.hpp"
+
+int main() {
+  using namespace malnet;
+
+  core::PipelineConfig cfg;
+  cfg.seed = 22;
+  cfg.world.total_samples = 300;
+  cfg.run_probe_campaign = false;
+  core::Pipeline pipeline(cfg);
+  const auto results = pipeline.run();
+
+  const auto iocs = report::build_blocklist(results);
+  std::cout << "study produced " << iocs.size() << " verified IoCs ("
+            << results.d_c2s.size() << " raw C2 records; unverified ones are "
+            << "held back to avoid the §3.3 false-positive trap)\n";
+
+  // Self-check: every generated rule must compile in our own IDS.
+  const auto compiled = report::compile_exported_rules(results);
+  std::cout << "generated SNORT ruleset compiles: " << compiled.size()
+            << " rules\n\n";
+
+  const auto snort = report::export_snort_rules(results);
+  std::ofstream("malnet.rules") << snort;
+  std::ofstream("malnet.iptables") << report::export_iptables(results);
+  std::ofstream("malnet.blocklist") << report::export_plain_blocklist(results);
+  std::cout << "wrote malnet.rules, malnet.iptables, malnet.blocklist\n\n";
+
+  // Show a taste of each.
+  std::cout << "--- malnet.rules (head) ---\n";
+  std::size_t shown = 0, pos = 0;
+  while (shown < 6 && pos < snort.size()) {
+    const auto nl = snort.find('\n', pos);
+    std::cout << snort.substr(pos, nl - pos) << '\n';
+    pos = nl + 1;
+    ++shown;
+  }
+  return 0;
+}

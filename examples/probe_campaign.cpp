@@ -1,0 +1,71 @@
+// probe_campaign: the D-PC2 study standalone (§2.3b) — scout 6 suspicious
+// /24 subnets on the 12 Table 5 ports, engage listeners with weaponized
+// Gafgyt/Mirai binaries, and render the Figure 4 responsiveness raster.
+#include <iostream>
+
+#include "botnet/probe_world.hpp"
+#include "core/prober.hpp"
+#include "emu/sandbox.hpp"
+#include "mal/binary.hpp"
+#include "report/render.hpp"
+#include "report/summary.hpp"
+#include "util/str.hpp"
+
+int main() {
+  using namespace malnet;
+
+  sim::EventScheduler sched;
+  sim::Network net(sched);
+  emu::Sandbox sandbox(net);
+  auto world = botnet::build_probe_world(net);
+
+  std::cout << "probe world: " << world.subnets.size() << " subnets, "
+            << world.c2s.size() << " hidden C2s, " << world.banners.size()
+            << " benign banner hosts\nports:";
+  for (const auto p : botnet::table5_ports()) std::cout << ' ' << p;
+  std::cout << "\n\n";
+
+  std::vector<core::Weapon> weapons;
+  for (const auto family : {proto::Family::kGafgyt, proto::Family::kMirai}) {
+    mal::MbfBinary bin;
+    bin.behavior.family = family;
+    bin.behavior.c2_ip = net::Ipv4{60, 1, 1, 1};
+    bin.behavior.c2_port = 23;
+    util::Rng rng(static_cast<std::uint64_t>(family) + 40);
+    weapons.push_back(core::Weapon{mal::forge(bin, rng), {net::Ipv4{60, 1, 1, 1}, 23}});
+  }
+
+  core::ProbeCampaignConfig cfg;
+  for (const auto& s : world.subnets) cfg.subnets.push_back(s);
+  cfg.ports = botnet::table5_ports();
+  cfg.rounds = 42;  // one week at the paper's 4-hour cadence
+
+  core::ProbeCampaignResult result;
+  bool done = false;
+  core::ProbeCampaign campaign(net, sandbox, cfg, std::move(weapons),
+                               [&](core::ProbeCampaignResult r) {
+                                 result = std::move(r);
+                                 done = true;
+                               });
+  campaign.start();
+  while (!done) sched.run_until(sched.now() + sim::Duration::hours(6));
+
+  std::cout << "campaign done: " << result.scout_probes << " scout probes, "
+            << result.weapon_runs << " weaponized engagements, "
+            << result.banner_filtered << " banner hosts filtered\n\n";
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<bool>> rows;
+  for (const auto& [ep, bits] : result.raster) {
+    labels.push_back(net::to_string(ep));
+    rows.push_back(bits);
+  }
+  std::cout << report::render_raster(labels, rows);
+
+  const auto stats = report::probe_stats(result);
+  std::cout << "\nsecond-probe (+4h) non-response: "
+            << util::percent(stats.second_probe_nonresponse)
+            << " (paper: 91%); days with all six probes answered: "
+            << stats.days_with_all_probes_answered << " (paper: 0)\n";
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "asdb/asdb.hpp"
+
+#include <stdexcept>
+
+namespace malnet::asdb {
+
+std::string to_string(AsType t) {
+  switch (t) {
+    case AsType::kHosting: return "Hosting";
+    case AsType::kIsp: return "ISP";
+    case AsType::kBusiness: return "Business";
+  }
+  return "?";
+}
+
+void AsDatabase::add(AsInfo info) {
+  if (info.prefixes.empty()) throw std::invalid_argument("AsDatabase::add: no prefixes");
+  if (by_asn(info.asn) != nullptr) {
+    throw std::invalid_argument("AsDatabase::add: duplicate ASN " +
+                                std::to_string(info.asn));
+  }
+  for (const auto& p : info.prefixes) {
+    for (const auto& existing : ases_) {
+      for (const auto& q : existing.prefixes) {
+        if (p.contains(q.base) || q.contains(p.base)) {
+          throw std::invalid_argument("AsDatabase::add: overlapping prefix " +
+                                      net::to_string(p));
+        }
+      }
+    }
+  }
+  ases_.push_back(std::move(info));
+}
+
+const AsInfo* AsDatabase::by_asn(std::uint32_t asn) const {
+  for (const auto& a : ases_) {
+    if (a.asn == asn) return &a;
+  }
+  return nullptr;
+}
+
+const AsInfo* AsDatabase::by_ip(net::Ipv4 ip) const {
+  for (const auto& a : ases_) {
+    for (const auto& p : a.prefixes) {
+      if (p.contains(ip)) return &a;
+    }
+  }
+  return nullptr;
+}
+
+net::Ipv4 AsDatabase::random_ip_in(std::uint32_t asn, util::Rng& rng) const {
+  const AsInfo* info = by_asn(asn);
+  if (info == nullptr) throw std::invalid_argument("random_ip_in: unknown ASN");
+  const auto& prefix =
+      info->prefixes[static_cast<std::size_t>(rng.uniform(0, info->prefixes.size() - 1))];
+  // Skip offset 0 (network) and the top address (broadcast-ish).
+  const std::uint32_t offset =
+      static_cast<std::uint32_t>(rng.uniform(1, prefix.size() - 2));
+  return prefix.host(offset);
+}
+
+const std::vector<std::uint32_t>& AsDatabase::table2_asns() {
+  static const std::vector<std::uint32_t> kAsns{
+      36352, 211252, 14061, 53667, 202306, 399471, 16276, 44812, 139884, 50673};
+  return kAsns;
+}
+
+namespace {
+
+/// Sequential /16 allocator over synthetic space starting at 60.0.0.0.
+class PrefixAllocator {
+ public:
+  [[nodiscard]] net::Subnet next16() {
+    const net::Subnet s{net::Ipv4{base_ + (count_ << 16)}, 16};
+    ++count_;
+    if (count_ > 0x2000) throw std::logic_error("PrefixAllocator exhausted");
+    return s;
+  }
+
+ private:
+  std::uint32_t base_ = net::Ipv4{60, 0, 0, 0}.value;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace
+
+AsDatabase AsDatabase::standard() {
+  AsDatabase db;
+  PrefixAllocator alloc;
+
+  auto add = [&](std::uint32_t asn, std::string name, std::string country, AsType type,
+                 bool anti_ddos, bool crypto, bool gaming, bool top100, int n16) {
+    AsInfo info;
+    info.asn = asn;
+    info.name = std::move(name);
+    info.country = std::move(country);
+    info.type = type;
+    info.anti_ddos = anti_ddos;
+    info.crypto_pay = crypto;
+    info.gaming = gaming;
+    info.top100_size = top100;
+    for (int i = 0; i < n16; ++i) info.prefixes.push_back(alloc.next16());
+    db.add(std::move(info));
+  };
+
+  // --- Table 2: the top-10 C2-hosting ASes (paper values). ------------------
+  // AS211252 (Delis LLC) publishes no information; the paper marks its
+  // hosting/anti-DDoS fields N/A — we model both as false.
+  add(36352, "ColoCrossing", "US", AsType::kHosting, true, false, false, false, 4);
+  add(211252, "Delis LLC", "US", AsType::kHosting, false, false, false, false, 2);
+  add(14061, "DigitalOcean", "US", AsType::kHosting, true, false, false, false, 4);
+  add(53667, "FranTech Solutions", "LU", AsType::kHosting, true, true, false, false, 3);
+  add(202306, "HOSTGLOBAL", "RU", AsType::kHosting, true, true, false, false, 2);
+  add(399471, "Serverion LLC", "NL", AsType::kHosting, true, false, false, false, 2);
+  add(16276, "OVH SAS", "FR", AsType::kHosting, true, false, false, false, 4);
+  add(44812, "IP SERVER LLC", "RU", AsType::kHosting, true, true, false, false, 3);
+  add(139884, "Apeiron Global", "IN", AsType::kHosting, false, false, false, false, 2);
+  add(50673, "Serverius", "NL", AsType::kHosting, true, false, false, false, 2);
+
+  // --- Appendix A: large clouds that also appear with C2 activity. ----------
+  add(15169, "Google LLC", "US", AsType::kBusiness, true, false, false, true, 4);
+  add(16509, "Amazon.com Inc", "US", AsType::kBusiness, true, false, false, true, 4);
+  add(37963, "Hangzhou Alibaba Advertising", "CN", AsType::kBusiness, true, false,
+      false, true, 4);
+
+  // --- §5.3 DDoS victim population: ISPs, hosters and businesses across 11
+  // countries; ~18% gaming-specialised, including Roblox and NFOservers.
+  add(22697, "Roblox", "US", AsType::kBusiness, true, false, true, false, 2);
+  add(32374, "NFOservers", "US", AsType::kHosting, true, false, true, false, 2);
+  add(9009, "GSL Networks Gaming", "GB", AsType::kHosting, true, false, true, false, 2);
+  add(49544, "i3D.net Gaming", "NL", AsType::kHosting, true, false, true, false, 2);
+  add(3320, "Deutsche Telekom", "DE", AsType::kIsp, false, false, false, true, 3);
+  add(3215, "Orange S.A.", "FR", AsType::kIsp, false, false, false, true, 3);
+  add(1136, "KPN B.V.", "NL", AsType::kIsp, false, false, false, false, 2);
+  add(2856, "British Telecom", "GB", AsType::kIsp, false, false, false, true, 3);
+  add(577, "Bell Canada", "CA", AsType::kIsp, false, false, false, false, 2);
+  add(8359, "MTS PJSC", "RU", AsType::kIsp, false, false, false, false, 2);
+  add(28573, "Claro S.A.", "BR", AsType::kIsp, false, false, false, true, 3);
+  add(4713, "NTT Communications", "JP", AsType::kIsp, false, false, false, true, 3);
+  add(1221, "Telstra", "AU", AsType::kIsp, false, false, false, false, 2);
+  add(3301, "Telia Sverige", "SE", AsType::kIsp, false, false, false, false, 2);
+  add(7922, "Comcast Cable", "US", AsType::kIsp, false, false, false, true, 4);
+  add(24940, "Hetzner Online", "DE", AsType::kHosting, true, false, false, false, 3);
+  add(20473, "The Constant Company", "US", AsType::kHosting, true, true, false, false, 2);
+  add(63949, "Akamai Linode", "US", AsType::kHosting, true, false, false, false, 2);
+  add(51167, "Contabo GmbH", "DE", AsType::kHosting, true, false, false, false, 2);
+  add(35916, "MULTACOM", "US", AsType::kHosting, true, true, false, false, 2);
+  add(42708, "GleSYS AB", "SE", AsType::kHosting, true, false, false, false, 1);
+  add(29182, "JSC IT Hoster", "RU", AsType::kHosting, true, true, false, false, 2);
+  add(60068, "Datacamp Limited", "CZ", AsType::kHosting, true, false, false, false, 2);
+
+  // --- Long tail: enough additional ASes to reach the ~128 C2-hosting ASes
+  // of Figure 13. Deterministic synthetic names across a country mix.
+  static const char* kTailCountries[] = {"US", "DE", "NL", "RU", "FR", "GB", "CN",
+                                         "BR", "IN", "CA", "SG", "PL", "UA", "TR"};
+  for (int i = 0; i < 118; ++i) {
+    const auto country = kTailCountries[i % 14];
+    const AsType type = (i % 3 == 0) ? AsType::kIsp : AsType::kHosting;
+    add(64512u + static_cast<std::uint32_t>(i),
+        "TailNet-" + std::to_string(i), country, type,
+        /*anti_ddos=*/i % 2 == 0, /*crypto=*/i % 5 == 0, /*gaming=*/false,
+        /*top100=*/false, 1);
+  }
+
+  return db;
+}
+
+}  // namespace malnet::asdb

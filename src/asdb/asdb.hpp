@@ -1,0 +1,63 @@
+// Autonomous System database.
+//
+// Maps IPv4 addresses to AS metadata (ASN, org name, country, business
+// type, anti-DDoS offering, crypto payment acceptance, gaming focus). The
+// standard database is seeded with the paper's Table 2 top-10 C2-hosting
+// ASes, the large cloud ASes named in Appendix A (Google, Amazon, Alibaba),
+// the DDoS-victim AS population of §5.3, and a generated long tail so the
+// D-C2s dataset spreads over ~128 ASes as in Figure 13.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "util/rng.hpp"
+
+namespace malnet::asdb {
+
+enum class AsType { kHosting, kIsp, kBusiness };
+
+[[nodiscard]] std::string to_string(AsType t);
+
+struct AsInfo {
+  std::uint32_t asn = 0;
+  std::string name;
+  std::string country;  // ISO 3166-1 alpha-2
+  AsType type = AsType::kHosting;
+  bool anti_ddos = false;
+  bool crypto_pay = false;
+  bool gaming = false;       // specialised in the gaming industry (§5.3)
+  bool top100_size = false;  // among the top-100 ASes by advertised IPv4 space
+  std::vector<net::Subnet> prefixes;
+};
+
+class AsDatabase {
+ public:
+  AsDatabase() = default;
+
+  /// Registers an AS. Prefixes must not overlap an existing AS; ASN must be
+  /// unique. Throws std::invalid_argument otherwise.
+  void add(AsInfo info);
+
+  [[nodiscard]] const AsInfo* by_asn(std::uint32_t asn) const;
+  [[nodiscard]] const AsInfo* by_ip(net::Ipv4 ip) const;
+  [[nodiscard]] const std::vector<AsInfo>& all() const { return ases_; }
+  [[nodiscard]] std::size_t size() const { return ases_.size(); }
+
+  /// Draws a usable host address inside the AS (skips network/broadcast).
+  [[nodiscard]] net::Ipv4 random_ip_in(std::uint32_t asn, util::Rng& rng) const;
+
+  /// The ASNs of the paper's Table 2 (top-10 C2 hosting ASes), in table order.
+  [[nodiscard]] static const std::vector<std::uint32_t>& table2_asns();
+
+  /// Builds the standard study database (see file comment).
+  [[nodiscard]] static AsDatabase standard();
+
+ private:
+  std::vector<AsInfo> ases_;
+};
+
+}  // namespace malnet::asdb

@@ -1,0 +1,97 @@
+// Command-and-control server actors.
+//
+// Each C2Server speaks its family's wire protocol on the server side,
+// registers connecting bots, answers keepalives, and issues DDoS commands
+// from its attack plan to connected bots. Two behaviours central to the
+// paper's findings are modelled here:
+//
+//  * Elusiveness (§3.2, Figure 4): the listener toggles on a duty cycle,
+//    and after serving a session it goes *dormant* for an exponential
+//    cooldown — which is why "91% of the time a server does not respond to
+//    a second probe four hours after a successful probe".
+//
+//  * Attack issuance (§5): servers with a non-empty attack plan send
+//    commands to each registered bot during its session, which is exactly
+//    the window the pipeline's 2-hour restricted observation captures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/attack.hpp"
+#include "proto/family.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace malnet::botnet {
+
+struct C2ServerConfig {
+  proto::Family family = proto::Family::kMirai;
+  net::Ipv4 ip;
+  net::Port port = 23;
+  std::optional<std::string> domain;  // DNS-based C2s also have a name
+
+  // Elusiveness model.
+  double accept_prob = 0.65;  // P(listening) at each re-roll while not dormant
+  sim::Duration toggle_period = sim::Duration::minutes(47);
+  sim::Duration mean_dormancy = sim::Duration::hours(30);  // post-session cooldown
+
+  // Attack plan: commands issued (in order) to each bot session, spread
+  // over the session's first ~90 minutes.
+  std::vector<proto::AttackCommand> attack_plan;
+};
+
+/// A record of one issued command (what the eavesdropping pipeline sees).
+struct IssuedCommand {
+  sim::SimTime time;
+  proto::AttackCommand command;
+};
+
+class C2Server : public sim::Host {
+ public:
+  C2Server(sim::Network& net, C2ServerConfig cfg, util::Rng rng);
+
+  [[nodiscard]] const C2ServerConfig& config() const { return cfg_; }
+  [[nodiscard]] net::Endpoint endpoint() const { return {cfg_.ip, cfg_.port}; }
+  [[nodiscard]] bool currently_listening() const { return tcp_listening(cfg_.port); }
+  [[nodiscard]] std::uint64_t sessions_served() const { return sessions_; }
+  [[nodiscard]] std::uint64_t commands_issued() const { return issued_.size(); }
+  [[nodiscard]] const std::vector<IssuedCommand>& issued() const { return issued_; }
+
+  /// Forces the listener up/down (used by tests and by the world builder
+  /// at lifecycle boundaries).
+  void force_listening(bool on);
+
+ private:
+  struct Session {
+    std::uint64_t serial = 0;  // guards scheduled work against pointer reuse
+    bool registered = false;
+    std::string bot_id;
+    std::size_t next_attack = 0;
+    std::string rx_buffer;  // text-protocol line assembly
+  };
+
+  void arm_toggle();
+  void reroll_listening();
+  void on_accept(sim::TcpConn& conn);
+  void on_conn_data(sim::TcpConn& conn, util::BytesView data);
+  void handle_text_line(sim::TcpConn& conn, Session& s, const std::string& line);
+  void handle_binary(sim::TcpConn& conn, Session& s, util::BytesView data);
+  void register_bot(sim::TcpConn& conn, Session& s, std::string bot_id);
+  void schedule_attacks(sim::TcpConn& conn);
+  void enter_dormancy();
+
+  C2ServerConfig cfg_;
+  util::Rng rng_;
+  bool dormant_ = false;
+  std::uint64_t sessions_ = 0;
+  std::uint64_t next_serial_ = 1;
+  std::map<const sim::TcpConn*, Session> sessions_state_;
+  std::vector<IssuedCommand> issued_;
+};
+
+}  // namespace malnet::botnet

@@ -1,0 +1,44 @@
+#include "botnet/downloader.hpp"
+
+#include "inetsim/http.hpp"
+
+namespace malnet::botnet {
+
+namespace {
+
+void serve(sim::TcpConn& conn, std::map<std::string, std::uint64_t>& hits,
+           std::uint64_t* total) {
+  conn.on_data([&hits, total](sim::TcpConn& c, util::BytesView data) {
+    const auto req = inetsim::parse_request(util::to_string(data));
+    if (!req || req->method != "GET") {
+      c.reset();
+      return;
+    }
+    ++hits[req->path];
+    if (total != nullptr) ++*total;
+    const std::string name =
+        req->path.empty() || req->path == "/" ? "loader" : req->path.substr(1);
+    c.send(inetsim::ok_response(loader_script(name), "application/x-sh").serialize());
+    c.close();
+  });
+}
+
+}  // namespace
+
+DownloaderServer::DownloaderServer(sim::Network& net, net::Ipv4 addr)
+    : sim::Host(net, addr, "downloader") {
+  tcp_listen(80, [this](sim::TcpConn& conn) { serve(conn, hits_, &total_); });
+}
+
+void DownloaderServer::attach_to(sim::Host& host,
+                                 std::map<std::string, std::uint64_t>& hits) {
+  host.tcp_listen(80, [&hits](sim::TcpConn& conn) { serve(conn, hits, nullptr); });
+}
+
+std::string loader_script(const std::string& loader_name) {
+  return "#!/bin/sh\n# loader: " + loader_name +
+         "\n# inert marker script (simulation artifact; fetches nothing)\n"
+         "echo " + loader_name + "\n";
+}
+
+}  // namespace malnet::botnet

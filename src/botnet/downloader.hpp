@@ -1,0 +1,41 @@
+// Malware-distribution ("downloader") servers. §3.1: "The downloader and
+// C2 servers are often on the same server ... All downloader servers host
+// on http port 80." Exploited victims fetch the loader script from here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/network.hpp"
+
+namespace malnet::botnet {
+
+class DownloaderServer : public sim::Host {
+ public:
+  /// If `addr` already belongs to another host (typically the C2 itself),
+  /// construction would collide — callers co-hosting a downloader on a C2
+  /// box should instead call attach_to(). This standalone form is for the
+  /// minority of downloaders on dedicated boxes.
+  DownloaderServer(sim::Network& net, net::Ipv4 addr);
+
+  /// Installs the downloader service (HTTP on port 80) onto an existing
+  /// host, e.g. a C2Server. Returns the request counter shared with the
+  /// service; the counter outlives nothing — read it before host death.
+  static void attach_to(sim::Host& host, std::map<std::string, std::uint64_t>& hits);
+
+  [[nodiscard]] std::uint64_t requests() const { return total_; }
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& hits_by_path() const {
+    return hits_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> hits_;
+  std::uint64_t total_ = 0;
+};
+
+/// The loader script body served for `loader_name` — an inert marker
+/// script (no real second-stage anything).
+[[nodiscard]] std::string loader_script(const std::string& loader_name);
+
+}  // namespace malnet::botnet

@@ -1,0 +1,99 @@
+#include "core/c2detect.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "dns/message.hpp"
+
+namespace malnet::core {
+
+std::vector<C2Candidate> detect_c2(const emu::SandboxReport& report,
+                                   net::Ipv4 martian, const C2DetectOptions& opts) {
+  (void)martian;  // addresses are resolved from observed DNS answers, not hints
+
+  // Pass 1: DNS resolution events (inbound answers), in time order.
+  struct Resolution {
+    util::SimTime time;
+    std::string name;
+    net::Ipv4 answer;
+  };
+  std::vector<Resolution> resolutions;
+  for (const auto& p : report.capture) {
+    if (p.proto != net::Protocol::kUdp || p.src_port != 53) continue;
+    const auto msg = dns::decode(p.payload);
+    if (!msg || !msg->is_response || msg->answers.empty()) continue;
+    resolutions.push_back({p.time, msg->answers.front().name,
+                           msg->answers.front().address});
+  }
+
+  // Pass 2: outbound TCP connection attempts grouped by endpoint.
+  struct FlowStats {
+    int attempts = 0;
+    util::SimTime first_syn{INT64_MAX};
+  };
+  std::map<net::Endpoint, FlowStats> flows;
+  std::map<net::Port, std::set<net::Ipv4>> per_port_dsts;
+  std::set<net::Endpoint> http_flows;
+  for (const auto& p : report.capture) {
+    if (p.proto == net::Protocol::kTcp && !p.payload.empty()) {
+      // First guest payload of a flow that reads like an HTTP request.
+      const std::string head = util::to_string(
+          util::BytesView{p.payload.data(), std::min<std::size_t>(5, p.payload.size())});
+      if (head.rfind("GET ", 0) == 0 || head.rfind("POST ", 0) == 0 ||
+          head.rfind("HEAD ", 0) == 0) {
+        http_flows.insert(p.destination());
+      }
+    }
+    if (p.proto != net::Protocol::kTcp || !p.flags.syn || p.flags.ack) continue;
+    // Outbound = sourced by the guest; the guest is whoever sends SYNs that
+    // also appear as the src of non-SYN traffic. Simpler and sufficient:
+    // SYN packets in a guest-side capture are always outbound.
+    auto& fs = flows[p.destination()];
+    ++fs.attempts;
+    fs.first_syn = std::min(fs.first_syn, p.time);
+    per_port_dsts[p.dst_port].insert(p.dst);
+  }
+
+  std::vector<C2Candidate> out;
+  for (const auto& [ep, fs] : flows) {
+    if (fs.attempts < opts.min_attempts) continue;
+    if (opts.filter_http_flows && http_flows.count(ep) > 0) continue;
+    // Scan-port suppression: sweeps touch each address once, so repeated
+    // attempts to one endpoint are C2 retries even on a swept port (C2s on
+    // 23/tcp coexist with telnet sweeps in the same binary).
+    if (fs.attempts <= opts.min_attempts &&
+        per_port_dsts[ep.port].size() >=
+            static_cast<std::size_t>(opts.scan_port_distinct_ips)) {
+      continue;  // scanning traffic
+    }
+    C2Candidate cand;
+    cand.resolved_ip = ep.ip;
+    cand.port = ep.port;
+    cand.connection_attempts = fs.attempts;
+    // Attribute to the latest DNS resolution answering with this address
+    // before the first connection attempt.
+    const Resolution* best = nullptr;
+    for (const auto& r : resolutions) {
+      if (r.answer == ep.ip && r.time <= fs.first_syn) best = &r;
+    }
+    if (best != nullptr) {
+      cand.address = best->name;
+      cand.is_dns = true;
+    } else {
+      cand.address = net::to_string(ep.ip);
+    }
+    out.push_back(std::move(cand));
+  }
+  // Strongest beacon first; ties broken by contact order (malware tries its
+  // primary C2 before any fallback).
+  std::sort(out.begin(), out.end(), [&](const C2Candidate& a, const C2Candidate& b) {
+    if (a.connection_attempts != b.connection_attempts) {
+      return a.connection_attempts > b.connection_attempts;
+    }
+    return flows.at(a.endpoint()).first_syn < flows.at(b.endpoint()).first_syn;
+  });
+  return out;
+}
+
+}  // namespace malnet::core

@@ -1,0 +1,28 @@
+#include "core/offline.hpp"
+
+#include "dns/message.hpp"
+#include "net/pcap.hpp"
+
+namespace malnet::core {
+
+emu::SandboxReport report_from_packets(std::vector<net::Packet> packets) {
+  emu::SandboxReport report;
+  report.parsed = true;
+  report.activated = !packets.empty();
+  for (const auto& p : packets) {
+    // Reconstruct the DNS-query log the live tap would have kept.
+    if (p.proto == net::Protocol::kUdp && p.dst_port == 53) {
+      if (const auto q = dns::decode(p.payload); q && !q->questions.empty()) {
+        report.dns_queries.push_back(q->questions.front().name);
+      }
+    }
+  }
+  report.capture = std::move(packets);
+  return report;
+}
+
+emu::SandboxReport report_from_pcap(const std::string& path) {
+  return report_from_packets(net::load_pcap(path));
+}
+
+}  // namespace malnet::core

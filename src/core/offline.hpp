@@ -1,0 +1,21 @@
+// Offline re-analysis: run the C2 classifier and the DDoS command recovery
+// over a previously saved pcap, without a sandbox. This is the artifact
+// workflow the paper's open-data page implies — captures are shared, and
+// anyone can re-derive the findings from them.
+#pragma once
+
+#include <string>
+
+#include "emu/sandbox.hpp"
+
+namespace malnet::core {
+
+/// Wraps a packet list as a minimal SandboxReport so the capture-driven
+/// analyses (detect_c2, detect_ddos) run unchanged on it.
+[[nodiscard]] emu::SandboxReport report_from_packets(std::vector<net::Packet> packets);
+
+/// Loads a pcap file written by SandboxReport::save_pcap (or any raw-IPv4
+/// pcap) into an analysable report. Throws on unreadable/malformed files.
+[[nodiscard]] emu::SandboxReport report_from_pcap(const std::string& path);
+
+}  // namespace malnet::core

@@ -1,0 +1,86 @@
+#include "core/p2p_crawl.hpp"
+
+#include "proto/p2p.hpp"
+#include "util/rng.hpp"
+
+namespace malnet::core {
+
+P2pCrawler::P2pCrawler(sim::Host& crawler, std::vector<net::Endpoint> bootstrap,
+                       CrawlConfig cfg, std::function<void(CrawlResult)> done)
+    : host_(crawler), cfg_(cfg), done_(std::move(done)), frontier_(std::move(bootstrap)) {
+  if (!done_) throw std::invalid_argument("P2pCrawler: null callback");
+  util::Rng rng(host_.network().rng()());
+  for (int i = 0; i < 20; ++i) {
+    my_id_.push_back(static_cast<char>(rng.uniform(33, 126)));
+  }
+  for (const auto& ep : frontier_) result_.discovered.insert(ep);
+}
+
+P2pCrawler::~P2pCrawler() = default;
+
+void P2pCrawler::start() { pump(); }
+
+void P2pCrawler::pump() {
+  while (!frontier_.empty() &&
+         in_flight_.size() < static_cast<std::size_t>(cfg_.max_outstanding) &&
+         result_.discovered.size() < cfg_.max_peers) {
+    const net::Endpoint peer = frontier_.back();
+    frontier_.pop_back();
+    if (!queried_.insert(peer).second) continue;
+    ++result_.rounds;
+    query(peer, cfg_.retries_per_peer);
+  }
+  maybe_done();
+}
+
+void P2pCrawler::query(net::Endpoint peer, int attempts_left) {
+  const net::Port local = host_.alloc_ephemeral_port();
+  in_flight_[local] = peer;
+  ++result_.queries_sent;
+
+  const std::string txn{static_cast<char>(local >> 8), static_cast<char>(local)};
+  host_.udp_bind(local, [this, peer, local](const net::Packet& p) {
+    const auto reply = proto::p2p::decode_peers_reply(p.payload);
+    if (!reply) return;
+    host_.udp_unbind(local);
+    if (in_flight_.erase(local) == 0) return;  // late duplicate
+    result_.responsive.insert(peer);
+    on_reply(peer, reply->peers);
+  });
+  host_.schedule_safe(cfg_.query_timeout, [this, peer, local, attempts_left]() {
+    const auto it = in_flight_.find(local);
+    if (it == in_flight_.end()) return;  // answered
+    host_.udp_unbind(local);
+    in_flight_.erase(it);
+    if (attempts_left > 1) {
+      query(peer, attempts_left - 1);
+    } else {
+      finish_peer(peer);
+    }
+  });
+  host_.udp_send(peer, proto::p2p::encode_get_peers({my_id_, txn}), local);
+}
+
+void P2pCrawler::on_reply(net::Endpoint peer, const std::vector<net::Endpoint>& peers) {
+  (void)peer;
+  for (const auto& ep : peers) {
+    if (result_.discovered.size() >= cfg_.max_peers) break;  // hard cap
+    if (result_.discovered.insert(ep).second && queried_.count(ep) == 0) {
+      frontier_.push_back(ep);
+    }
+  }
+  pump();
+}
+
+void P2pCrawler::finish_peer(net::Endpoint) { pump(); }
+
+void P2pCrawler::maybe_done() {
+  if (finished_) return;
+  if (!in_flight_.empty()) return;
+  const bool capped = result_.discovered.size() >= cfg_.max_peers;
+  if (!frontier_.empty() && !capped) return;
+  finished_ = true;
+  done_(std::move(result_));
+}
+
+}  // namespace malnet::core

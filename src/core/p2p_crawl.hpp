@@ -1,0 +1,63 @@
+// P2P overlay crawler — the extension the paper leaves on the table when it
+// filters Mozi/Hajime out of the C2 study (§2.3a): starting from the
+// bootstrap peers a sandbox capture reveals, breadth-first walk the DHT
+// with get_peers queries and enumerate the botnet's membership.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace malnet::core {
+
+struct CrawlConfig {
+  sim::Duration query_timeout = sim::Duration::seconds(3);
+  int retries_per_peer = 2;      // churny nodes need a second knock
+  int max_outstanding = 16;      // parallel query budget
+  std::size_t max_peers = 5000;  // discovery cap (safety)
+};
+
+struct CrawlResult {
+  std::set<net::Endpoint> discovered;   // every address seen in the overlay
+  std::set<net::Endpoint> responsive;   // answered at least one query
+  std::uint64_t queries_sent = 0;
+  int rounds = 0;  // BFS depth reached
+};
+
+/// Crawls the overlay from `bootstrap` using `crawler` as the vantage
+/// host. `done` fires once when the frontier is exhausted (or max_peers is
+/// hit). The crawler object must stay alive until then.
+class P2pCrawler {
+ public:
+  P2pCrawler(sim::Host& crawler, std::vector<net::Endpoint> bootstrap,
+             CrawlConfig cfg, std::function<void(CrawlResult)> done);
+  P2pCrawler(const P2pCrawler&) = delete;
+  P2pCrawler& operator=(const P2pCrawler&) = delete;
+  ~P2pCrawler();
+
+  void start();
+
+ private:
+  void pump();
+  void query(net::Endpoint peer, int attempts_left);
+  void on_reply(net::Endpoint peer, const std::vector<net::Endpoint>& peers);
+  void finish_peer(net::Endpoint peer);
+  void maybe_done();
+
+  sim::Host& host_;
+  CrawlConfig cfg_;
+  std::function<void(CrawlResult)> done_;
+  std::vector<net::Endpoint> frontier_;
+  std::set<net::Endpoint> queried_;
+  std::map<net::Port, net::Endpoint> in_flight_;  // local port -> peer
+  CrawlResult result_;
+  std::string my_id_;
+  bool finished_ = false;
+};
+
+}  // namespace malnet::core

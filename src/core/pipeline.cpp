@@ -1,0 +1,309 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "dns/resolver.hpp"
+#include "mal/labels.hpp"
+#include "util/log.hpp"
+
+namespace malnet::core {
+
+namespace {
+constexpr std::int64_t kDayUs = 86'400'000'000LL;
+
+util::LogStream plog() { return util::LogStream(util::LogLevel::kInfo, "pipeline"); }
+}  // namespace
+
+Pipeline::Pipeline(PipelineConfig cfg) : cfg_(std::move(cfg)) {
+  sched_ = std::make_unique<sim::EventScheduler>();
+  sim::NetworkConfig nc;
+  nc.seed = cfg_.seed;
+  net_ = std::make_unique<sim::Network>(*sched_, nc);
+
+  botnet::WorldConfig wc = cfg_.world;
+  wc.seed = cfg_.seed;
+  world_ = std::make_unique<botnet::World>(*net_, wc);
+
+  emu::SandboxConfig sc;
+  sc.seed = cfg_.seed ^ 0xBADC0FFEE;
+  sandbox_ = std::make_unique<emu::Sandbox>(*net_, sc);
+
+  intel_ = std::make_unique<intel::ThreatIntel>(cfg_.seed ^ 0x71);
+  for (const auto& c2 : world_->c2_plan()) {
+    intel_->register_c2(c2.address, c2.birth_day, c2.cfg.domain.has_value());
+  }
+
+  analysis_host_ =
+      std::make_unique<sim::Host>(*net_, net::Ipv4{192, 0, 2, 5}, "analysis");
+}
+
+Pipeline::~Pipeline() = default;
+
+StudyResults Pipeline::run() {
+  if (ran_) throw std::logic_error("Pipeline::run: already ran");
+  ran_ = true;
+
+  const auto& samples = world_->samples();
+  results_.truth_planned_c2s = world_->c2_plan().size();
+
+  std::int64_t last_day = 0;
+  for (const auto& s : samples) last_day = std::max(last_day, s.first_seen_day);
+
+  std::size_t next_sample = 0;
+  for (std::int64_t day = 0; day <= last_day; ++day) {
+    world_->advance_to_day(day);
+    // Launch today's analysis chains, staggered from 00:01, all running
+    // concurrently on the shared timeline (the paper's parallel sandboxes).
+    int slot = 0;
+    while (next_sample < samples.size() && samples[next_sample].first_seen_day == day) {
+      const botnet::PlannedSample& sample = samples[next_sample];
+      const sim::SimTime start{day * kDayUs + 60'000'000LL +
+                               slot * 90'000'000LL};
+      sched_->at(start, [this, &sample]() { analyse_sample(sample); });
+      ++next_sample;
+      ++slot;
+    }
+    sched_->run_until(sim::SimTime{(day + 1) * kDayUs});
+    if (day % 30 == 0) {
+      plog() << "day " << day << ": " << results_.d_samples.size() << " samples, "
+             << results_.d_c2s.size() << " C2s, " << results_.d_exploits.size()
+             << " exploit records, " << results_.d_ddos.size() << " DDoS records";
+    }
+  }
+  // Let late live-runs finish.
+  sched_->run_until(sim::SimTime{(last_day + 2) * kDayUs});
+  world_->advance_to_day(last_day + 2);
+
+  if (cfg_.run_probe_campaign) run_probe_campaign();
+
+  finalize_results();
+  results_.sim_events = sched_->executed();
+  results_.sandbox_runs = sandbox_->total_runs();
+  results_.truth_commands_issued = world_->all_issued().size();
+  return std::move(results_);
+}
+
+void Pipeline::analyse_sample(const botnet::PlannedSample& sample) {
+  // Architecture gate (§2.2): the feeds deliver ARM/x86 builds too; only
+  // MIPS-32 binaries enter D-Samples and the sandbox.
+  if (const auto parsed = mal::parse(sample.binary);
+      parsed && parsed->arch != mal::Arch::kMips32) {
+    ++results_.non_mips_skipped;
+    return;
+  }
+  emu::SandboxOptions opts;
+  opts.mode = emu::SandboxMode::kObserve;
+  opts.duration = cfg_.observe_duration;
+  opts.handshaker_threshold = cfg_.handshaker_threshold;
+  sandbox_->start(sample.binary, opts, [this, &sample](const emu::SandboxReport& r) {
+    handle_observe_report(sample, r);
+  });
+}
+
+void Pipeline::handle_observe_report(const botnet::PlannedSample& sample,
+                                     const emu::SandboxReport& report) {
+  SampleRecord rec;
+  rec.sha256 = sample.sha256;
+  rec.day = sample.first_seen_day;
+  rec.source = sample.source;
+  rec.vt_detections = sample.vt_detections;
+  rec.activated = report.parsed && report.activated;
+  rec.evasion_abort = report.evasion_abort;
+  // Static labelling: YARA rules over the binary, AVClass as fallback
+  // (§2.2 — including AVClass's Mozi->Mirai confusion; YARA usually saves
+  // the day, which is why the P2P filter still works).
+  rec.label = mal::combined_label(sample.binary, sample.truth_family);
+  rec.p2p = proto::is_p2p(rec.label);
+  label_by_sample_[sample.sha256] = rec.label;
+
+  // D-Exploits: attribute the handshaker harvest.
+  for (const auto& finding : identify_exploits(report)) {
+    ExploitRecord er;
+    er.sample_sha = sample.sha256;
+    er.day = sample.first_seen_day;
+    er.vuln = finding.vuln;
+    er.downloader_host = finding.downloader_host;
+    er.loader_name = finding.loader_name;
+    if (!finding.downloader_host.empty()) {
+      results_.downloader_hosts.insert(finding.downloader_host);
+    }
+    results_.d_exploits.push_back(std::move(er));
+  }
+
+  auto candidates = detect_c2(report, sandbox_->martian());
+  if (candidates.size() > static_cast<std::size_t>(cfg_.max_candidates_per_sample)) {
+    candidates.resize(static_cast<std::size_t>(cfg_.max_candidates_per_sample));
+  }
+  for (const auto& c : candidates) rec.c2_addresses.push_back(c.address);
+  results_.d_samples.push_back(std::move(rec));
+
+  if (results_.d_samples.back().p2p || candidates.empty()) return;
+  probe_candidate(sample, std::move(candidates), 0, /*live_found=*/false);
+}
+
+void Pipeline::probe_candidate(const botnet::PlannedSample& sample,
+                               std::vector<C2Candidate> candidates, std::size_t idx,
+                               bool live_found) {
+  if (idx >= candidates.size()) return;
+  const C2Candidate cand = candidates[idx];
+
+  auto continue_with_ip = [this, &sample, candidates = std::move(candidates), idx,
+                           live_found, cand](net::Ipv4 real_ip) mutable {
+    if (real_ip.is_unspecified()) {
+      probe_candidate(sample, std::move(candidates), idx + 1, live_found);
+      return;
+    }
+    Weapon weapon{sample.binary, cand.endpoint()};
+    probe_liveness(
+        *sandbox_, weapon, {real_ip, cand.port},
+        [this, &sample, candidates = std::move(candidates), idx, live_found, cand,
+         real_ip](LivenessResult res) mutable {
+          record_c2_observation(sample, cand, real_ip, res.engaged);
+          bool now_live = live_found;
+          // The live-run budget is keyed by resolved IP so a domain-fronted
+          // server and its raw address share one budget.
+          const std::string budget_key = net::to_string(real_ip);
+          if (res.engaged && !live_found &&
+              live_runs_per_c2_[budget_key] < cfg_.max_live_runs_per_c2) {
+            now_live = true;
+            ++live_runs_per_c2_[budget_key];
+            start_live_run(sample, cand, real_ip);
+          }
+          probe_candidate(sample, std::move(candidates), idx + 1, now_live);
+        },
+        cfg_.probe_duration);
+  };
+
+  if (cand.is_dns) {
+    // Resolve the name through real DNS to find the probe target (§2.3a).
+    dns::resolve(*analysis_host_, world_->resolver(), cand.address,
+                 [cw = std::move(continue_with_ip)](std::optional<net::Ipv4> ip) mutable {
+                   cw(ip.value_or(net::Ipv4{}));
+                 });
+  } else {
+    continue_with_ip(cand.resolved_ip);
+  }
+}
+
+void Pipeline::record_c2_observation(const botnet::PlannedSample& sample,
+                                     const C2Candidate& cand, net::Ipv4 real_ip,
+                                     bool live) {
+  const std::int64_t day = sample.first_seen_day;
+  auto [it, inserted] = results_.d_c2s.try_emplace(cand.address);
+  C2Record& rec = it->second;
+  if (inserted) {
+    rec.address = cand.address;
+    rec.is_dns = cand.is_dns;
+    rec.ip = real_ip;
+    rec.port = cand.port;
+    rec.discovery_day = day;
+    if (const auto* as = world_->asdb().by_ip(real_ip)) {
+      rec.asn = as->asn;
+      rec.as_country = as->country;
+    }
+    rec.vt_vendors_same_day = intel_->vendors_flagging(cand.address, day);
+    rec.vt_malicious_same_day = rec.vt_vendors_same_day > 0;
+  }
+  ++rec.distinct_samples;
+  if (rec.referred_days.empty() || rec.referred_days.back() != day) {
+    rec.referred_days.push_back(day);
+  }
+  if (live && (rec.live_days.empty() || rec.live_days.back() != day)) {
+    rec.live_days.push_back(day);
+  }
+}
+
+void Pipeline::start_live_run(const botnet::PlannedSample& sample,
+                              const C2Candidate& cand, net::Ipv4 real_ip) {
+  plog() << "live run: sample " << sample.sha256.substr(0, 8) << " c2 "
+         << cand.address << " via " << net::to_string(real_ip) << ':'
+         << cand.port;
+  emu::SandboxOptions opts;
+  opts.mode = emu::SandboxMode::kLive;
+  opts.duration = cfg_.live_duration;
+  opts.allowed_c2 = net::Endpoint{real_ip, cand.port};
+  // Real bots cycle through their address list indefinitely; that loop is
+  // what rides out post-probe dormancy within the 2 h window.
+  opts.c2_retry_limit = 3;
+  opts.c2_retry_delay = sim::Duration::seconds(60);
+  const std::string address = cand.address;
+  const net::Endpoint c2{real_ip, cand.port};
+  sandbox_->start(
+      sample.binary, opts,
+      [this, &sample, address, c2](const emu::SandboxReport& report) {
+        plog() << "live run done: " << sample.sha256.substr(0, 8)
+               << " capture=" << report.capture.size()
+               << " cmds=" << report.commands.size();
+        std::optional<proto::Family> hint;
+        const auto lit = label_by_sample_.find(sample.sha256);
+        if (lit != label_by_sample_.end()) hint = lit->second;
+        DdosDetectOptions dopts;
+        dopts.pps_threshold = cfg_.pps_threshold;
+        for (auto& det : detect_ddos(report, c2, hint, dopts)) {
+          if (!det.verified) continue;  // §2.5: manual verification gate
+          DdosRecord dr;
+          dr.sample_sha = sample.sha256;
+          dr.day = sample.first_seen_day;
+          dr.c2_address = address;
+          dr.c2 = c2;
+          if (const auto* as = world_->asdb().by_ip(c2.ip)) {
+            dr.c2_asn = as->asn;
+            dr.c2_country = as->country;
+          }
+          dr.detection = std::move(det);
+          results_.d_ddos.push_back(std::move(dr));
+        }
+      });
+}
+
+void Pipeline::run_probe_campaign() {
+  // Weapons: one Gafgyt and one Mirai binary with IP-based C2s (§2.3b).
+  std::vector<Weapon> weapons;
+  for (const proto::Family fam : {proto::Family::kGafgyt, proto::Family::kMirai}) {
+    for (const auto& s : world_->samples()) {
+      if (s.truth_family != fam || s.truth_c2_refs.empty()) continue;
+      const auto* plan = world_->find_c2(s.truth_c2_refs.front());
+      if (plan == nullptr || plan->cfg.domain) continue;
+      weapons.push_back(Weapon{s.binary, {plan->cfg.ip, plan->cfg.port}});
+      break;
+    }
+  }
+  if (weapons.empty()) return;
+
+  probe_world_ = std::make_unique<botnet::ProbeWorld>(
+      botnet::build_probe_world(*net_, botnet::ProbeWorldConfig{cfg_.seed ^ 0x9C2}));
+
+  ProbeCampaignConfig pc;
+  for (const auto& s : probe_world_->subnets) pc.subnets.push_back(s);
+  pc.ports = botnet::table5_ports();
+  pc.rounds = cfg_.probe_rounds;
+
+  bool finished = false;
+  campaign_ = std::make_unique<ProbeCampaign>(
+      *net_, *sandbox_, std::move(pc), std::move(weapons),
+      [this, &finished](ProbeCampaignResult res) {
+        results_.d_pc2 = std::move(res);
+        finished = true;
+      });
+  campaign_->start();
+  // 84 rounds x 4 h plus slack; C2 duty-cycle timers run forever, so bound
+  // by time, not queue exhaustion.
+  const sim::SimTime deadline =
+      sched_->now() + sim::Duration::hours(4) * (cfg_.probe_rounds + 4);
+  while (!finished && sched_->now() < deadline) {
+    sched_->run_until(sched_->now() + sim::Duration::hours(1));
+  }
+  campaign_.reset();
+  probe_world_.reset();
+}
+
+void Pipeline::finalize_results() {
+  for (auto& [addr, rec] : results_.d_c2s) {
+    rec.vt_malicious_requery = intel_->is_malicious(addr, cfg_.requery_day);
+    rec.is_downloader =
+        results_.downloader_hosts.count(net::to_string(rec.ip)) > 0 ||
+        results_.downloader_hosts.count(addr) > 0;
+  }
+}
+
+}  // namespace malnet::core

@@ -1,0 +1,174 @@
+// The MalNet pipeline (§2): the daily collect-and-analyse loop that builds
+// every dataset of Table 1 —
+//
+//   D-Samples  : the binaries, with feed metadata and family labels
+//   D-C2s      : C2 addresses found by the sandbox, liveness-probed and
+//                cross-validated against the TI feeds
+//   D-PC2      : the two-week active probing study (6 subnets x 12 ports)
+//   D-Exploits : handshaker-harvested exploits attributed to Table 4
+//   D-DDOS     : commands eavesdropped during restricted live runs
+//
+// Pipeline::run() executes the whole year of simulated study and returns
+// the datasets; the report module turns them into the paper's tables and
+// figures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "botnet/probe_world.hpp"
+#include "botnet/world.hpp"
+#include "core/c2detect.hpp"
+#include "core/ddos.hpp"
+#include "core/exploit_id.hpp"
+#include "core/prober.hpp"
+#include "emu/sandbox.hpp"
+#include "intel/threat_intel.hpp"
+
+namespace malnet::core {
+
+struct SampleRecord {
+  std::string sha256;
+  std::int64_t day = 0;
+  botnet::FeedSource source = botnet::FeedSource::kVirusTotal;
+  int vt_detections = 0;
+  proto::Family label = proto::Family::kMirai;  // YARA + AVClass pipeline label
+  bool p2p = false;       // filtered out of the C2 study (§2.3a)
+  bool activated = false;
+  bool evasion_abort = false;
+  std::vector<std::string> c2_addresses;  // what detect_c2 found
+};
+
+struct C2Record {
+  std::string address;
+  bool is_dns = false;
+  net::Ipv4 ip;  // resolved address (for AS attribution)
+  net::Port port = 0;
+  std::uint32_t asn = 0;
+  std::string as_country;
+  std::int64_t discovery_day = -1;
+  std::vector<std::int64_t> referred_days;  // analysis days referring to it
+  std::vector<std::int64_t> live_days;      // days the liveness probe engaged
+  int distinct_samples = 0;
+  bool vt_malicious_same_day = false;
+  int vt_vendors_same_day = 0;
+  bool vt_malicious_requery = false;  // filled at study end (May 7 re-query)
+  bool is_downloader = false;         // also seen serving loaders
+
+  [[nodiscard]] bool ever_live() const { return !live_days.empty(); }
+  /// Observed lifespan (§3.2): last minus first live observation, in days,
+  /// counting a single live day as 1. Zero if never observed live.
+  [[nodiscard]] std::int64_t observed_lifespan_days() const {
+    if (live_days.empty()) return 0;
+    return live_days.back() - live_days.front() + 1;
+  }
+};
+
+struct ExploitRecord {
+  std::string sample_sha;
+  std::int64_t day = 0;
+  vulndb::VulnId vuln{};
+  std::string downloader_host;
+  std::string loader_name;
+};
+
+struct DdosRecord {
+  std::string sample_sha;
+  std::int64_t day = 0;
+  std::string c2_address;
+  net::Endpoint c2;
+  std::uint32_t c2_asn = 0;
+  std::string c2_country;
+  DdosDetection detection;
+};
+
+struct PipelineConfig {
+  std::uint64_t seed = 22;
+  botnet::WorldConfig world{};
+  sim::Duration observe_duration = sim::Duration::minutes(8);
+  sim::Duration live_duration = sim::Duration::hours(2);
+  sim::Duration probe_duration = sim::Duration::seconds(90);
+  int handshaker_threshold = 20;   // §2.4
+  double pps_threshold = 100.0;    // §2.5b
+  int max_candidates_per_sample = 2;
+  /// The 2 h restricted watch is expensive; at most this many live runs are
+  /// spent per C2 address over the study.
+  int max_live_runs_per_c2 = 1;
+  /// 2022-05-07, the paper's re-query date, as a study day.
+  std::int64_t requery_day = 404;
+  bool run_probe_campaign = true;  // the D-PC2 study (adds ~3M sim events)
+  int probe_rounds = 84;
+};
+
+struct StudyResults {
+  std::vector<SampleRecord> d_samples;
+  std::map<std::string, C2Record> d_c2s;
+  std::vector<ExploitRecord> d_exploits;
+  std::vector<DdosRecord> d_ddos;
+  ProbeCampaignResult d_pc2;
+  std::set<std::string> downloader_hosts;  // distinct downloader addresses
+
+  // Ground truth snapshots for validation (not used by any table/figure
+  // computation — only for paper-vs-truth sanity checks in tests/benches).
+  std::size_t truth_commands_issued = 0;
+  std::size_t truth_planned_c2s = 0;
+
+  std::uint64_t sandbox_runs = 0;
+  std::uint64_t sim_events = 0;
+  /// Feed binaries discarded at the architecture gate (§2.2: the study
+  /// keeps MIPS-32 only).
+  std::uint64_t non_mips_skipped = 0;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig cfg = {});
+  ~Pipeline();
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Runs the full study (one year of collection + the probing campaign)
+  /// and returns every dataset. Call once.
+  [[nodiscard]] StudyResults run();
+
+  /// Access to the constructed world (e.g. for validation in tests).
+  [[nodiscard]] const botnet::World& world() const { return *world_; }
+  [[nodiscard]] const intel::ThreatIntel& ti() const { return *intel_; }
+  [[nodiscard]] const asdb::AsDatabase& asdb() const { return world_->asdb(); }
+
+ private:
+  void analyse_sample(const botnet::PlannedSample& sample);
+  void handle_observe_report(const botnet::PlannedSample& sample,
+                             const emu::SandboxReport& report);
+  void probe_candidate(const botnet::PlannedSample& sample,
+                       std::vector<C2Candidate> candidates, std::size_t idx,
+                       bool live_found);
+  void record_c2_observation(const botnet::PlannedSample& sample,
+                             const C2Candidate& cand, net::Ipv4 real_ip, bool live);
+  void start_live_run(const botnet::PlannedSample& sample, const C2Candidate& cand,
+                      net::Ipv4 real_ip);
+  void run_probe_campaign();
+  void finalize_results();
+
+  PipelineConfig cfg_;
+  std::unique_ptr<sim::EventScheduler> sched_;
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<botnet::World> world_;
+  std::unique_ptr<emu::Sandbox> sandbox_;
+  std::unique_ptr<intel::ThreatIntel> intel_;
+  std::unique_ptr<sim::Host> analysis_host_;  // DNS lookups for probing
+  std::unique_ptr<botnet::ProbeWorld> probe_world_;
+  std::unique_ptr<ProbeCampaign> campaign_;
+
+  StudyResults results_;
+  std::map<std::string, proto::Family> label_by_sample_;
+  std::map<std::string, int> live_runs_per_c2_;
+  bool ran_ = false;
+};
+
+}  // namespace malnet::core

@@ -1,0 +1,172 @@
+#include "core/prober.hpp"
+
+#include <set>
+
+#include "util/log.hpp"
+
+namespace malnet::core {
+
+void probe_liveness(emu::Sandbox& sandbox, const Weapon& weapon, net::Endpoint target,
+                    std::function<void(LivenessResult)> done, sim::Duration duration) {
+  if (!done) throw std::invalid_argument("probe_liveness: null callback");
+  emu::SandboxOptions opts;
+  opts.mode = emu::SandboxMode::kWeaponized;
+  opts.duration = duration;
+  opts.c2_hint = weapon.c2_hint;
+  opts.mitm_target = target;
+  sandbox.start(weapon.binary, opts,
+                [done = std::move(done)](const emu::SandboxReport& report) {
+                  LivenessResult res;
+                  res.first_data = report.mitm_first_data;
+                  // A well-known service banner means we reached something
+                  // benign, not a C2 (§2.6 filtering).
+                  res.engaged =
+                      report.mitm_engaged &&
+                      !inetsim::is_well_known_banner(util::to_string(res.first_data));
+                  done(res);
+                });
+}
+
+// ---------------------------------------------------------------------------
+
+struct ProbeCampaign::Round {
+  int round = 0;
+  std::vector<net::Endpoint> queue;
+  std::size_t next = 0;
+  int outstanding = 0;
+  bool scouting_done = false;
+  std::vector<net::Endpoint> candidates;
+  std::size_t next_candidate = 0;
+  std::size_t weapon_idx = 0;
+  std::set<net::Endpoint> responsive;
+};
+
+ProbeCampaign::ProbeCampaign(sim::Network& net, emu::Sandbox& sandbox,
+                             ProbeCampaignConfig cfg, std::vector<Weapon> weapons,
+                             std::function<void(ProbeCampaignResult)> done)
+    : net_(net),
+      sandbox_(sandbox),
+      cfg_(std::move(cfg)),
+      weapons_(std::move(weapons)),
+      done_(std::move(done)) {
+  if (cfg_.subnets.empty() || cfg_.ports.empty() || weapons_.empty() || !done_) {
+    throw std::invalid_argument("ProbeCampaign: incomplete configuration");
+  }
+  scout_ = std::make_unique<sim::Host>(net_, net::Ipv4{192, 0, 2, 9}, "prober-scout");
+}
+
+ProbeCampaign::~ProbeCampaign() = default;
+
+void ProbeCampaign::start() { run_round(0); }
+
+void ProbeCampaign::run_round(int round) {
+  if (round >= cfg_.rounds) {
+    result_.rounds = cfg_.rounds;
+    for (auto& [ep, bits] : full_raster_) {
+      bool any = false;
+      for (const bool b : bits) any |= b;
+      if (any) result_.raster.emplace(ep, bits);
+    }
+    done_(std::move(result_));
+    return;
+  }
+  auto state = std::make_shared<Round>();
+  state->round = round;
+  for (const auto& subnet : cfg_.subnets) {
+    for (std::uint32_t h = 1; h + 1 < subnet.size(); ++h) {
+      for (const auto port : cfg_.ports) {
+        state->queue.push_back({subnet.host(h), port});
+      }
+    }
+  }
+  scout_next(state);
+}
+
+void ProbeCampaign::scout_next(std::shared_ptr<Round> state) {
+  // Issue one 100 ms batch of scout connects.
+  const auto batch = static_cast<std::size_t>(cfg_.scout_rate_pps / 10.0) + 1;
+  for (std::size_t i = 0; i < batch && state->next < state->queue.size(); ++i) {
+    const net::Endpoint target = state->queue[state->next++];
+    ++result_.scout_probes;
+    ++state->outstanding;
+    scout_->tcp_connect(
+        target,
+        [this, state, target](sim::ConnectOutcome outcome, sim::TcpConn* conn) {
+          if (outcome != sim::ConnectOutcome::kConnected || conn == nullptr) {
+            --state->outstanding;
+            if (state->scouting_done && state->outstanding == 0) {
+              engage_candidates(state);
+            }
+            return;
+          }
+          // Listener found: wait briefly for a service banner.
+          auto banner = std::make_shared<std::string>();
+          conn->on_data([banner](sim::TcpConn&, util::BytesView data) {
+            banner->append(reinterpret_cast<const char*>(data.data()), data.size());
+          });
+          sim::TcpConn* conn_ptr = conn;
+          scout_->schedule_safe(cfg_.banner_wait, [this, state, target, banner,
+                                                   conn_ptr]() {
+            if (conn_ptr->established()) conn_ptr->close();
+            if (!banner->empty() && inetsim::is_well_known_banner(*banner)) {
+              ++result_.banner_filtered;
+            } else {
+              state->candidates.push_back(target);
+            }
+            --state->outstanding;
+            if (state->scouting_done && state->outstanding == 0) {
+              engage_candidates(state);
+            }
+          });
+        },
+        sim::Duration::seconds(2));
+  }
+  if (state->next < state->queue.size()) {
+    scout_->schedule_safe(sim::Duration::millis(100),
+                          [this, state]() { scout_next(state); });
+  } else {
+    state->scouting_done = true;
+    if (state->outstanding == 0) engage_candidates(state);
+  }
+}
+
+void ProbeCampaign::engage_candidates(std::shared_ptr<Round> state) {
+  if (state->next_candidate >= state->candidates.size()) {
+    finish_round(state);
+    return;
+  }
+  const net::Endpoint target = state->candidates[state->next_candidate];
+  if (state->weapon_idx >= weapons_.size()) {
+    // No weapon engaged this target; move on.
+    state->weapon_idx = 0;
+    ++state->next_candidate;
+    engage_candidates(state);
+    return;
+  }
+  const Weapon& weapon = weapons_[state->weapon_idx];
+  ++result_.weapon_runs;
+  probe_liveness(sandbox_, weapon, target, [this, state, target](LivenessResult res) {
+    if (res.engaged) {
+      state->responsive.insert(target);
+      state->weapon_idx = 0;
+      ++state->next_candidate;
+    } else {
+      ++state->weapon_idx;
+    }
+    engage_candidates(state);
+  });
+}
+
+void ProbeCampaign::finish_round(std::shared_ptr<Round> state) {
+  // Record this round's outcome for every target we have ever seen listen.
+  for (const auto& ep : state->candidates) {
+    full_raster_.try_emplace(ep, std::vector<bool>(static_cast<std::size_t>(cfg_.rounds)));
+  }
+  for (auto& [ep, bits] : full_raster_) {
+    bits[static_cast<std::size_t>(state->round)] = state->responsive.count(ep) > 0;
+  }
+  const int next_round = state->round + 1;
+  scout_->schedule_safe(cfg_.interval, [this, next_round]() { run_round(next_round); });
+}
+
+}  // namespace malnet::core

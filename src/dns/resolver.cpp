@@ -1,0 +1,46 @@
+#include "dns/resolver.hpp"
+
+#include <memory>
+
+#include "dns/message.hpp"
+
+namespace malnet::dns {
+
+void resolve(sim::Host& host, net::Endpoint server, const std::string& name,
+             ResolveCallback cb, sim::Duration timeout) {
+  if (!cb) throw std::invalid_argument("resolve: null callback");
+  const auto id = static_cast<std::uint16_t>(host.network().rng()());
+  const net::Port src_port = host.alloc_ephemeral_port();
+
+  // Shared completion state: whichever fires first (reply or timeout) wins.
+  struct Txn {
+    bool done = false;
+    ResolveCallback cb;
+  };
+  auto txn = std::make_shared<Txn>();
+  txn->cb = std::move(cb);
+
+  host.udp_bind(src_port, [&host, src_port, id, name, txn](const net::Packet& p) {
+    if (txn->done) return;
+    const auto reply = decode(p.payload);
+    if (!reply || !reply->is_response || reply->id != id) return;
+    txn->done = true;
+    host.udp_unbind(src_port);
+    std::optional<net::Ipv4> result;
+    if (reply->rcode == Rcode::kNoError && !reply->answers.empty()) {
+      result = reply->answers.front().address;
+    }
+    txn->cb(result);
+  });
+
+  host.scheduler().after(timeout, [&host, src_port, txn]() {
+    if (txn->done) return;
+    txn->done = true;
+    host.udp_unbind(src_port);
+    txn->cb(std::nullopt);
+  });
+
+  host.udp_send(server, encode(make_query(id, name)), src_port);
+}
+
+}  // namespace malnet::dns

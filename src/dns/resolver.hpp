@@ -1,0 +1,22 @@
+// Asynchronous stub resolver for simulated hosts.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "sim/network.hpp"
+
+namespace malnet::dns {
+
+using ResolveCallback = std::function<void(std::optional<net::Ipv4>)>;
+
+/// Sends one A query from `host` to `server` and invokes `cb` with the
+/// answer, NXDOMAIN (nullopt), or nullopt after `timeout` with no reply.
+/// The transaction id is drawn from the network RNG; a mismatched id or a
+/// malformed response counts as no reply.
+void resolve(sim::Host& host, net::Endpoint server, const std::string& name,
+             ResolveCallback cb,
+             sim::Duration timeout = sim::Duration::seconds(5));
+
+}  // namespace malnet::dns

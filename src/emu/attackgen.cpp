@@ -1,0 +1,138 @@
+#include "emu/attackgen.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace malnet::emu {
+
+util::Bytes vse_payload() {
+  util::Bytes p{0xFF, 0xFF, 0xFF, 0xFF, 'T'};
+  const std::string q = "Source Engine Query";
+  p.insert(p.end(), q.begin(), q.end());
+  p.push_back(0x00);
+  return p;
+}
+
+util::Bytes nfo_payload() {
+  // Custom marker payload observed against NFOservers infrastructure.
+  return util::to_bytes("NFOV6\x01\x02\x03\x04stress");
+}
+
+namespace {
+
+/// Shared burst-loop state for one running attack.
+struct AttackState {
+  proto::AttackCommand cmd;
+  AttackGenOptions opts;
+  util::Rng rng;
+  sim::SimTime end;
+  net::Port fixed_src_port = 0;
+  util::Bytes std_payload;  // STD: one random string, generated once (§5.1)
+  std::function<void()> done;
+};
+
+void emit_burst(sim::Host& bot, const std::shared_ptr<AttackState>& st);
+
+void schedule_next(sim::Host& bot, const std::shared_ptr<AttackState>& st) {
+  if (bot.now() >= st->end) {
+    if (st->done) st->done();
+    return;
+  }
+  bot.schedule_safe(sim::Duration::millis(100),
+                    [&bot, st]() { emit_burst(bot, st); });
+}
+
+void emit_burst(sim::Host& bot, const std::shared_ptr<AttackState>& st) {
+  const int per_burst = std::max(1, static_cast<int>(st->opts.pps / 10.0));
+  const auto& target = st->cmd.target;
+
+  for (int i = 0; i < per_burst; ++i) {
+    const net::Port src_port = st->opts.rotate_source_ports
+                                   ? static_cast<net::Port>(st->rng.uniform(1024, 65535))
+                                   : st->fixed_src_port;
+    switch (st->cmd.type) {
+      case proto::AttackType::kUdpFlood: {
+        // Payload is the null byte (§5.1, all three families).
+        bot.udp_send(target, util::Bytes{0x00}, src_port);
+        break;
+      }
+      case proto::AttackType::kSynFlood: {
+        net::Packet syn;
+        syn.dst = target.ip;
+        syn.proto = net::Protocol::kTcp;
+        syn.src_port = src_port;
+        syn.dst_port = target.port;
+        syn.flags.syn = true;
+        syn.seq = st->rng();
+        bot.send_raw(std::move(syn));
+        break;
+      }
+      case proto::AttackType::kTls: {
+        // Both observed variants ride datagrams of encoded junk (§5.1 —
+        // daddyl33t sends DTLS-ish messages; the Mirai variant's chunked
+        // stream is approximated at the packet level).
+        util::Bytes hello{0x16, 0x03, 0x03, 0x00, 0x30};
+        for (int b = 0; b < 48; ++b) {
+          hello.push_back(static_cast<std::uint8_t>(st->rng.uniform(0, 255)));
+        }
+        bot.udp_send(target, hello, src_port);
+        break;
+      }
+      case proto::AttackType::kStomp: {
+        // Post-handshake junk STOMP frames; emitted as raw PSH segments to
+        // keep per-packet cost flat at flood rates.
+        net::Packet frame;
+        frame.dst = target.ip;
+        frame.proto = net::Protocol::kTcp;
+        frame.src_port = src_port;
+        frame.dst_port = target.port;
+        frame.flags.psh = true;
+        frame.flags.ack = true;
+        frame.payload = util::to_bytes("CONNECT\naccept-version:1.2\n\n\x00junk");
+        bot.send_raw(std::move(frame));
+        break;
+      }
+      case proto::AttackType::kVse: {
+        bot.udp_send(target, vse_payload(), src_port);
+        break;
+      }
+      case proto::AttackType::kStd: {
+        bot.udp_send(target, st->std_payload, src_port);
+        break;
+      }
+      case proto::AttackType::kBlacknurse: {
+        // ICMP type 3 code 3 (destination/port unreachable) flood.
+        bot.icmp_send(target.ip, 3, 3, util::Bytes(28, 0x00));
+        break;
+      }
+      case proto::AttackType::kNfo: {
+        bot.udp_send(target, nfo_payload(), src_port);
+        break;
+      }
+    }
+  }
+  schedule_next(bot, st);
+}
+
+}  // namespace
+
+void launch_attack(sim::Host& bot, const proto::AttackCommand& cmd,
+                   const AttackGenOptions& opts, util::Rng& rng,
+                   std::function<void()> done) {
+  auto st = std::make_shared<AttackState>(AttackState{
+      cmd, opts, rng.fork("attack"), sim::SimTime{}, 0, {}, std::move(done)});
+  const auto commanded = sim::Duration::seconds(cmd.duration_s);
+  st->end = bot.now() + std::min(commanded, opts.max_duration);
+  st->fixed_src_port = static_cast<net::Port>(st->rng.uniform(1024, 65535));
+  if (cmd.type == proto::AttackType::kStd) {
+    // One random string generated once, reused for the whole attack.
+    std::string s;
+    for (int i = 0; i < 32; ++i) {
+      s.push_back(static_cast<char>(st->rng.uniform('A', 'Z')));
+    }
+    st->std_payload = util::to_bytes(s);
+  }
+  emit_burst(bot, st);
+}
+
+}  // namespace malnet::emu

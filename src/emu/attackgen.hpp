@@ -1,0 +1,41 @@
+// DDoS attack traffic generation — what a bot does after receiving a C2
+// command. Each generator reproduces the wire behaviour the paper describes
+// in §5.1 (payloads, port selection, handshake patterns). Rates and
+// durations are capped so the simulation stays tractable; the cap is far
+// above the 100 pps detection heuristic of §2.5b.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "proto/attack.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace malnet::emu {
+
+struct AttackGenOptions {
+  double pps = 200.0;                    // generated packet rate
+  sim::Duration max_duration = sim::Duration::seconds(15);  // simulation cap
+  /// Mirai UDP variant behaviour (§5.1): some variants keep one source
+  /// port, others rotate. Chosen per-sample.
+  bool rotate_source_ports = true;
+};
+
+/// Emits the attack traffic for `cmd` from `bot`, in 100 ms bursts.
+/// Traffic leaves through the host's normal outbound path, so the sandbox
+/// tap records it and the containment filter drops it at the perimeter —
+/// exactly the §2.6c arrangement. Calls `done` when the (capped) command
+/// duration elapses.
+void launch_attack(sim::Host& bot, const proto::AttackCommand& cmd,
+                   const AttackGenOptions& opts, util::Rng& rng,
+                   std::function<void()> done = nullptr);
+
+/// The Valve Source Engine query payload ("TSource Engine Query") — the
+/// VSE amplification probe of §5.1.
+[[nodiscard]] util::Bytes vse_payload();
+
+/// The NFO attack's custom payload marker (UDP/238, §5.1).
+[[nodiscard]] util::Bytes nfo_payload();
+
+}  // namespace malnet::emu

@@ -1,0 +1,81 @@
+// The malware process: interprets a mal::BehaviorSpec against the simulated
+// network, standing in for QEMU-emulated execution of a MIPS binary. All
+// behaviour flows through the guest Host's socket API, which is exactly the
+// boundary the sandbox interposes on (DESIGN.md §4 "Sandbox boundary =
+// socket API").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mal/behavior.hpp"
+#include "proto/attack.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace malnet::emu {
+
+struct MalProcOptions {
+  net::Endpoint resolver{net::Ipv4{1, 1, 1, 1}, 53};
+  int c2_retry_limit = 2;
+  sim::Duration c2_retry_delay = sim::Duration::seconds(20);
+  sim::Duration connect_timeout = sim::Duration::seconds(5);
+  /// Rate/duration caps forwarded to attack generation.
+  double attack_pps = 200.0;
+  sim::Duration attack_cap = sim::Duration::seconds(15);
+};
+
+/// Runs one malware sample on a guest host. Construct, then start(); the
+/// process lives as long as its owner keeps it (the sandbox run owns both
+/// the guest host and the process and destroys them together).
+class MalwareProcess {
+ public:
+  MalwareProcess(sim::Host& guest, mal::BehaviorSpec spec, util::Rng rng,
+                 MalProcOptions opts = {});
+  MalwareProcess(const MalwareProcess&) = delete;
+  MalwareProcess& operator=(const MalwareProcess&) = delete;
+
+  void start();
+
+  // --- observable state (used by tests; the pipeline reads captures) -------
+  [[nodiscard]] bool aborted_evasion() const { return aborted_; }
+  [[nodiscard]] bool c2_established() const { return c2_conn_ != nullptr; }
+  [[nodiscard]] int c2_attempts() const { return c2_attempts_; }
+  [[nodiscard]] const std::vector<proto::AttackCommand>& commands_received() const {
+    return commands_;
+  }
+  [[nodiscard]] std::optional<net::Endpoint> contacted_c2() const { return contacted_; }
+
+ private:
+  void check_internet_then_run();
+  void run_main();
+  void contact_c2(net::Endpoint ep, int attempts_left, bool is_fallback);
+  void on_c2_connected(sim::TcpConn& conn);
+  void send_keepalive();
+  void on_c2_data(util::BytesView data);
+  void handle_command(const proto::AttackCommand& cmd);
+  void start_scans();
+  void run_scan_task(std::size_t task_idx, std::uint32_t remaining);
+  void start_telemetry();
+  void start_p2p();
+  [[nodiscard]] net::Port fallback_port() const;
+
+  sim::Host& guest_;
+  mal::BehaviorSpec spec_;
+  util::Rng rng_;
+  MalProcOptions opts_;
+
+  bool started_ = false;
+  bool aborted_ = false;
+  int c2_attempts_ = 0;
+  sim::TcpConn* c2_conn_ = nullptr;
+  std::optional<net::Endpoint> contacted_;
+  std::string c2_text_buffer_;
+  util::Bytes c2_bin_buffer_;
+  std::vector<proto::AttackCommand> commands_;
+  bool rotate_attack_ports_ = true;
+};
+
+}  // namespace malnet::emu

@@ -1,0 +1,59 @@
+// IDS engine: attaches a RuleSet to a host's outbound path (the sandbox
+// perimeter) and keeps alert statistics. This is the containment layer of
+// §2.6 — e.g. "only C2 traffic is allowed" during the 2-hour DDoS watch is
+// expressed as drop rules around a pass rule for the C2 endpoint.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ids/rules.hpp"
+#include "sim/network.hpp"
+
+namespace malnet::ids {
+
+struct AlertRecord {
+  util::SimTime time;
+  std::uint32_t sid = 0;
+  std::string msg;
+  net::Endpoint src;
+  net::Endpoint dst;
+};
+
+class Engine {
+ public:
+  explicit Engine(RuleSet rules) : rules_(std::move(rules)) {}
+
+  /// Evaluates one packet: records alerts, returns false if it must drop.
+  bool inspect(const net::Packet& p);
+
+  /// Installs this engine as `host`'s outbound filter. The engine must
+  /// outlive the host's use of the filter.
+  void attach_to(sim::Host& host);
+
+  [[nodiscard]] const std::vector<AlertRecord>& alerts() const { return alerts_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t inspected() const { return inspected_; }
+  /// Alert counts keyed by sid.
+  [[nodiscard]] const std::map<std::uint32_t, std::uint64_t>& alert_counts() const {
+    return alert_counts_;
+  }
+
+  [[nodiscard]] const RuleSet& rules() const { return rules_; }
+
+ private:
+  RuleSet rules_;
+  std::vector<AlertRecord> alerts_;
+  std::map<std::uint32_t, std::uint64_t> alert_counts_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t inspected_ = 0;
+};
+
+/// The default MalNet containment policy (see §2.6): allows C2-bound
+/// traffic to `c2`, DNS, and the fake-victim redirection target; drops and
+/// alerts on everything else leaving the sandbox.
+[[nodiscard]] RuleSet containment_policy(net::Endpoint c2);
+
+}  // namespace malnet::ids

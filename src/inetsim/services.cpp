@@ -1,0 +1,51 @@
+#include "inetsim/services.hpp"
+
+#include <array>
+
+namespace malnet::inetsim {
+
+FakeDns::FakeDns(sim::Network& net, net::Ipv4 addr, net::Ipv4 answer)
+    : dns::DnsServer(net, addr, "inetsim-dns") {
+  set_wildcard(answer);
+}
+
+FakeHttp::FakeHttp(sim::Network& net, net::Ipv4 addr, net::Port port)
+    : sim::Host(net, addr, "inetsim-http") {
+  tcp_listen(port, [this](sim::TcpConn& conn) {
+    conn.on_data([this](sim::TcpConn& c, util::BytesView data) {
+      const auto req = parse_request(util::to_string(data));
+      if (!req) {
+        c.reset();
+        return;
+      }
+      ++served_;
+      c.send(ok_response("<html>It works</html>", "text/html").serialize());
+      c.close();
+    });
+  });
+}
+
+BannerHost::BannerHost(sim::Network& net, net::Ipv4 addr, net::Port port,
+                       std::string banner)
+    : sim::Host(net, addr, "banner-host"), banner_(std::move(banner)) {
+  tcp_listen(port, [this](sim::TcpConn& conn) { conn.send(banner_); });
+}
+
+bool is_well_known_banner(std::string_view greeting) {
+  static constexpr std::array<std::string_view, 8> kKnown{
+      "HTTP/1.1",          // generic web server response preamble
+      "SSH-2.0-OpenSSH",   //
+      "SSH-2.0-dropbear",  //
+      "220 ",              // FTP / SMTP greeting
+      "Apache",            //
+      "nginx",             //
+      "* OK ",             // IMAP
+      "MikroTik",          //
+  };
+  for (const auto k : kKnown) {
+    if (greeting.substr(0, k.size()) == k) return true;
+  }
+  return false;
+}
+
+}  // namespace malnet::inetsim

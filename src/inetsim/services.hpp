@@ -1,0 +1,52 @@
+// InetSim-style fake service hosts.
+//
+// §2.6(a): "If a sophisticated binary detects that the Internet is not
+// available, we deploy InetSim to simulate services like DNS and http."
+// These actors play that role inside the sandbox's fake internet, and the
+// BannerHost also populates probing subnets with benign services that the
+// prober must recognise and skip (§2.6 probing ethics).
+#pragma once
+
+#include <string>
+
+#include "dns/server.hpp"
+#include "inetsim/http.hpp"
+#include "sim/network.hpp"
+
+namespace malnet::inetsim {
+
+/// Wildcard DNS: resolves every name to a configurable address (typically
+/// an HTTP fake on the same box). Thin wrapper over dns::DnsServer.
+class FakeDns : public dns::DnsServer {
+ public:
+  FakeDns(sim::Network& net, net::Ipv4 addr, net::Ipv4 answer);
+};
+
+/// Fake web service: answers every request with 200 and a canned body.
+class FakeHttp : public sim::Host {
+ public:
+  FakeHttp(sim::Network& net, net::Ipv4 addr, net::Port port = 80);
+
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+ private:
+  std::uint64_t served_ = 0;
+};
+
+/// A benign service that greets each TCP connection with a well-known
+/// banner ("Apache", "nginx", SSH, …). Probing campaigns must filter such
+/// hosts out (§2.6: "we filter out hosts that present a well-known banner").
+class BannerHost : public sim::Host {
+ public:
+  BannerHost(sim::Network& net, net::Ipv4 addr, net::Port port, std::string banner);
+
+  [[nodiscard]] const std::string& banner() const { return banner_; }
+
+ private:
+  std::string banner_;
+};
+
+/// True if `greeting` starts with a banner of a well-known benign service.
+[[nodiscard]] bool is_well_known_banner(std::string_view greeting);
+
+}  // namespace malnet::inetsim

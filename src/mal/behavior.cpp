@@ -1,0 +1,126 @@
+#include "mal/behavior.hpp"
+
+namespace malnet::mal {
+
+std::optional<std::string> BehaviorSpec::validate() const {
+  if (is_p2p()) {
+    if (p2p_peers.empty()) return "P2P family without bootstrap peers";
+    if (node_id.size() != 20) return "P2P node id must be 20 bytes";
+    return std::nullopt;
+  }
+  if (!c2_domain && !c2_ip) return "centralised family without a C2 address";
+  if (c2_domain && c2_ip) return "both DNS and IP C2 set";
+  if (c2_port == 0) return "C2 port is zero";
+  for (const auto& s : scans) {
+    if (s.target_count == 0) return "scan task with zero targets";
+    if (s.pps <= 0) return "scan task with non-positive rate";
+    if (s.vuln && !loader_name.empty() && downloader_host.empty()) {
+      return "exploit scan without downloader host";
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+constexpr std::uint8_t kHasDomain = 1;
+constexpr std::uint8_t kHasIp = 2;
+constexpr std::uint8_t kCheckInternet = 4;
+constexpr std::uint8_t kAntiSandbox = 8;
+constexpr std::uint8_t kHasFallback = 16;
+constexpr std::uint8_t kHasTelemetry = 32;
+}  // namespace
+
+util::Bytes encode_behavior(const BehaviorSpec& spec) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(spec.family));
+  std::uint8_t flags = 0;
+  if (spec.c2_domain) flags |= kHasDomain;
+  if (spec.c2_ip) flags |= kHasIp;
+  if (spec.check_internet) flags |= kCheckInternet;
+  if (spec.anti_sandbox) flags |= kAntiSandbox;
+  if (spec.c2_fallback_ip) flags |= kHasFallback;
+  if (spec.telemetry_domain) flags |= kHasTelemetry;
+  w.u8(flags);
+  if (spec.c2_domain) w.lp16(*spec.c2_domain);
+  if (spec.c2_ip) w.u32(spec.c2_ip->value);
+  if (spec.c2_fallback_ip) {
+    w.u32(spec.c2_fallback_ip->value);
+    w.u16(spec.c2_fallback_port);
+  }
+  w.u16(spec.c2_port);
+  if (spec.telemetry_domain) w.lp16(*spec.telemetry_domain);
+  w.lp16(spec.bot_id);
+  w.u32(spec.keepalive_s);
+
+  w.u16(static_cast<std::uint16_t>(spec.scans.size()));
+  for (const auto& s : spec.scans) {
+    w.u16(s.port);
+    w.u8(s.vuln ? 1 : 0);
+    if (s.vuln) w.u8(static_cast<std::uint8_t>(*s.vuln));
+    w.u32(s.target_count);
+    w.u32(static_cast<std::uint32_t>(s.pps * 1000));  // milli-pps
+  }
+  w.lp16(spec.loader_name);
+  w.lp16(spec.downloader_host);
+
+  w.u16(static_cast<std::uint16_t>(spec.p2p_peers.size()));
+  for (const auto& p : spec.p2p_peers) {
+    w.u32(p.ip.value);
+    w.u16(p.port);
+  }
+  w.lp16(spec.node_id);
+  return w.take();
+}
+
+std::optional<BehaviorSpec> decode_behavior(util::BytesView wire) {
+  try {
+    util::ByteReader r(wire);
+    BehaviorSpec spec;
+    const std::uint8_t family = r.u8();
+    if (family >= proto::kFamilyCount) return std::nullopt;
+    spec.family = static_cast<proto::Family>(family);
+    const std::uint8_t flags = r.u8();
+    if (flags & kHasDomain) spec.c2_domain = util::to_string(r.lp16());
+    if (flags & kHasIp) spec.c2_ip = net::Ipv4{r.u32()};
+    if (flags & kHasFallback) {
+      spec.c2_fallback_ip = net::Ipv4{r.u32()};
+      spec.c2_fallback_port = r.u16();
+    }
+    spec.check_internet = flags & kCheckInternet;
+    spec.anti_sandbox = flags & kAntiSandbox;
+    spec.c2_port = r.u16();
+    if (flags & kHasTelemetry) spec.telemetry_domain = util::to_string(r.lp16());
+    spec.bot_id = util::to_string(r.lp16());
+    spec.keepalive_s = r.u32();
+
+    const std::uint16_t n_scans = r.u16();
+    for (std::uint16_t i = 0; i < n_scans; ++i) {
+      ScanTask task;
+      task.port = r.u16();
+      if (r.u8() != 0) {
+        const std::uint8_t vuln = r.u8();
+        if (vuln >= vulndb::kVulnCount) return std::nullopt;
+        task.vuln = static_cast<vulndb::VulnId>(vuln);
+      }
+      task.target_count = r.u32();
+      task.pps = static_cast<double>(r.u32()) / 1000.0;
+      spec.scans.push_back(task);
+    }
+    spec.loader_name = util::to_string(r.lp16());
+    spec.downloader_host = util::to_string(r.lp16());
+
+    const std::uint16_t n_peers = r.u16();
+    for (std::uint16_t i = 0; i < n_peers; ++i) {
+      const net::Ipv4 ip{r.u32()};
+      const net::Port port = r.u16();
+      spec.p2p_peers.push_back({ip, port});
+    }
+    spec.node_id = util::to_string(r.lp16());
+    if (!r.done()) return std::nullopt;
+    return spec;
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace malnet::mal

@@ -1,0 +1,81 @@
+// Malware behaviour specification.
+//
+// Real IoT malware is a MIPS ELF whose *network-relevant* behaviour the
+// paper observes through a sandbox. Our synthetic stand-in (DESIGN.md §1)
+// encodes that behaviour explicitly: a BehaviorSpec describes how the
+// sample rendezvouses with its C2, how it scans and which exploits it
+// delivers, and how it reacts to C2 commands. The sandbox in emu/ is an
+// interpreter for this spec — the network traffic it produces is what the
+// MalNet pipeline actually analyses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "proto/family.hpp"
+#include "util/bytes.hpp"
+#include "vulndb/vulndb.hpp"
+
+namespace malnet::mal {
+
+/// One scanning campaign: sweep random addresses on `port` at `pps`
+/// packets/second, delivering `vuln`'s exploit to hosts that answer.
+/// A task without a vulnerability is a telnet-style credential sweep.
+struct ScanTask {
+  net::Port port = 23;
+  std::optional<vulndb::VulnId> vuln;
+  std::uint32_t target_count = 64;  // distinct addresses to probe
+  double pps = 10.0;
+};
+
+struct BehaviorSpec {
+  proto::Family family = proto::Family::kMirai;
+
+  // --- C2 rendezvous -------------------------------------------------------
+  // Exactly one of c2_domain / c2_ip for centralised families; P2P families
+  // use peers instead.
+  std::optional<std::string> c2_domain;
+  std::optional<net::Ipv4> c2_ip;
+  /// Failover C2 tried when the primary is unreachable (the "alternative
+  /// plan" behaviour studied by Squeeze [30]; common in Mirai forks).
+  std::optional<net::Ipv4> c2_fallback_ip;
+  net::Port c2_port = 23;
+  net::Port c2_fallback_port = 0;  // used with c2_fallback_ip (0 = c2_port)
+  std::string bot_id = "mips.bot";
+  std::uint32_t keepalive_s = 60;
+  /// Checks connectivity (DNS+HTTP) before contacting the C2.
+  bool check_internet = false;
+  /// Benign-looking periodic HTTP beacon (an IP-echo / update check).
+  /// Beacons like a C2 but is not one — the false-positive source behind
+  /// CnCHunter's ~90% C2-detection precision [17].
+  std::optional<std::string> telemetry_domain;
+  /// Aborts when the connectivity check fails (sandbox evasion). InetSim
+  /// defeats this, which is exactly why the paper deploys it (§2.6a).
+  bool anti_sandbox = false;
+
+  // --- Proliferation -------------------------------------------------------
+  std::vector<ScanTask> scans;
+  std::string loader_name;       // filename fetched by exploited victims
+  std::string downloader_host;   // dotted quad; often the C2 itself (§3.1)
+
+  // --- P2P -----------------------------------------------------------------
+  std::vector<net::Endpoint> p2p_peers;
+  std::string node_id;  // 20-byte DHT id
+
+  [[nodiscard]] bool is_p2p() const { return proto::is_p2p(family); }
+
+  /// Structural sanity: centralised families need a C2 address; P2P
+  /// families need peers. Returns a description of the first violation.
+  [[nodiscard]] std::optional<std::string> validate() const;
+};
+
+/// Serializes a BehaviorSpec into the MBF behaviour section.
+[[nodiscard]] util::Bytes encode_behavior(const BehaviorSpec& spec);
+
+/// Parses; nullopt on malformed input.
+[[nodiscard]] std::optional<BehaviorSpec> decode_behavior(util::BytesView wire);
+
+}  // namespace malnet::mal

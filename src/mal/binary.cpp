@@ -1,0 +1,117 @@
+#include "mal/binary.hpp"
+
+#include <stdexcept>
+
+namespace malnet::mal {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {0x7F, 'M', 'B', 'F'};
+
+util::Bytes xor_obfuscate(std::string_view s) {
+  util::Bytes out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(static_cast<std::uint8_t>(c) ^ kStringXorKey);
+  return out;
+}
+
+std::string xor_deobfuscate(util::BytesView b) {
+  std::string out;
+  out.reserve(b.size());
+  for (auto v : b) out.push_back(static_cast<char>(v ^ kStringXorKey));
+  return out;
+}
+
+}  // namespace
+
+const std::string& family_marker(proto::Family f) {
+  static const std::string kMirai = "/bin/busybox MIRAI";
+  static const std::string kGafgyt = "/bin/busybox GAFGYT";
+  static const std::string kTsunami = "NOTICE %s :TSUNAMI";
+  static const std::string kDaddyl33t = "daddyl33t-gang";
+  static const std::string kMozi = "Mozi.m+Mozi.a";
+  static const std::string kHajime = "hajime-atk.module";
+  static const std::string kVpnFilter = "vpnfilter/stage2";
+  switch (f) {
+    case proto::Family::kMirai: return kMirai;
+    case proto::Family::kGafgyt: return kGafgyt;
+    case proto::Family::kTsunami: return kTsunami;
+    case proto::Family::kDaddyl33t: return kDaddyl33t;
+    case proto::Family::kMozi: return kMozi;
+    case proto::Family::kHajime: return kHajime;
+    case proto::Family::kVpnFilter: return kVpnFilter;
+  }
+  throw std::logic_error("family_marker: bad family");
+}
+
+util::Bytes forge(const MbfBinary& content, util::Rng& rng, std::size_t noise_bytes) {
+  util::ByteWriter w;
+  w.raw(util::BytesView{kMagic, 4});
+  w.u8(kMbfVersion);
+  w.u8(static_cast<std::uint8_t>(content.arch));
+  w.u8(1);  // big-endian flag, like most MIPS32 IoT targets
+
+  // Strings section.
+  w.u16(static_cast<std::uint16_t>(content.marker_strings.size()));
+  for (const auto& s : content.marker_strings) {
+    w.lp16(util::BytesView{xor_obfuscate(s)});
+  }
+
+  // Behaviour section (length-prefixed).
+  const util::Bytes behavior = encode_behavior(content.behavior);
+  if (behavior.size() > 0xFFFF) throw std::length_error("forge: behaviour too large");
+  w.lp16(util::BytesView{behavior});
+
+  // Noise section: random filler, varies hash and size per sample.
+  const std::size_t n = noise_bytes + static_cast<std::size_t>(rng.uniform(0, 256));
+  w.u32(static_cast<std::uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    w.u8(static_cast<std::uint8_t>(rng.uniform(0, 255)));
+  }
+  return w.take();
+}
+
+std::optional<MbfBinary> parse(util::BytesView binary) {
+  try {
+    util::ByteReader r(binary);
+    const util::Bytes magic = r.raw(4);
+    for (int i = 0; i < 4; ++i) {
+      if (magic[static_cast<std::size_t>(i)] != kMagic[i]) return std::nullopt;
+    }
+    if (r.u8() != kMbfVersion) return std::nullopt;
+    MbfBinary out;
+    out.arch = static_cast<Arch>(r.u8());
+    r.skip(1);  // endianness
+
+    const std::uint16_t n_strings = r.u16();
+    for (std::uint16_t i = 0; i < n_strings; ++i) {
+      out.marker_strings.push_back(xor_deobfuscate(r.lp16()));
+    }
+    auto behavior = decode_behavior(r.lp16());
+    if (!behavior) return std::nullopt;
+    out.behavior = std::move(*behavior);
+    return out;
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+std::string digest(util::BytesView binary) {
+  // Four FNV-1a lanes with different offsets -> 256 bits of stable id.
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (int lane = 0; lane < 4; ++lane) {
+    std::uint64_t h = 0xcbf29ce484222325ULL ^ (0x9E3779B97F4A7C15ULL * (lane + 1));
+    for (auto b : binary) {
+      h ^= b;
+      h *= 0x100000001b3ULL;
+    }
+    for (int i = 15; i >= 0; --i) {
+      out.push_back(kHex[(h >> (i * 4)) & 0xF]);
+    }
+  }
+  return out;
+}
+
+}  // namespace malnet::mal

@@ -1,0 +1,57 @@
+// The MBF ("Malware Binary Format") container — our stand-in for the MIPS
+// 32-bit ELF executables the paper collects. An MBF file has:
+//
+//   magic "\x7fMBF", u8 version, u8 arch, u8 endian
+//   strings section  — family-distinctive marker strings (what YARA rules
+//                      match on in real binaries) plus the C2 address,
+//                      lightly obfuscated with the Mirai-style XOR table key
+//   behavior section — the serialized BehaviorSpec the sandbox interprets
+//   noise section    — rng filler so every sample hashes uniquely
+//
+// Static tooling (the YARA-lite labeler) sees only bytes; dynamic tooling
+// (the sandbox) interprets the behaviour section; the pipeline itself never
+// peeks at the spec — it learns everything from emitted traffic, exactly
+// like the paper's binary-centric method.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "mal/behavior.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace malnet::mal {
+
+enum class Arch : std::uint8_t { kMips32 = 8, kArm32 = 40, kX86 = 3 };
+
+inline constexpr std::uint8_t kMbfVersion = 1;
+/// Mirai's string-table XOR key (0xDEADBEEF folded to one byte).
+inline constexpr std::uint8_t kStringXorKey = 0x22;
+
+struct MbfBinary {
+  Arch arch = Arch::kMips32;
+  std::vector<std::string> marker_strings;  // plain text, XOR-obfuscated on disk
+  BehaviorSpec behavior;
+};
+
+/// Forges binary bytes for the given content. `noise_bytes` of rng filler
+/// make each forged sample unique.
+[[nodiscard]] util::Bytes forge(const MbfBinary& content, util::Rng& rng,
+                                std::size_t noise_bytes = 512);
+
+/// Parses a forged binary. Returns nullopt on bad magic/version or
+/// malformed sections (the sandbox reports such samples as failed
+/// activations, mirroring unparseable ELFs in the real pipeline).
+[[nodiscard]] std::optional<MbfBinary> parse(util::BytesView binary);
+
+/// The family marker strings embedded by the corpus forge — the byte
+/// patterns our YARA-lite rules (labels.hpp) look for.
+[[nodiscard]] const std::string& family_marker(proto::Family f);
+
+/// A pseudo-SHA256: deterministic 64-hex-digit digest of the binary bytes
+/// (FNV-based, not cryptographic — used only as a stable sample id).
+[[nodiscard]] std::string digest(util::BytesView binary);
+
+}  // namespace malnet::mal

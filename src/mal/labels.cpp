@@ -1,0 +1,55 @@
+#include "mal/labels.hpp"
+
+#include "mal/binary.hpp"
+
+namespace malnet::mal {
+
+const std::vector<YaraRule>& yara_rules() {
+  static const std::vector<YaraRule> kRules = [] {
+    std::vector<YaraRule> rules;
+    const auto add = [&](std::string name, proto::Family f) {
+      rules.push_back(YaraRule{std::move(name), family_marker(f), f});
+    };
+    add("Mirai_Botnet_Generic", proto::Family::kMirai);
+    add("Gafgyt_Bashlite", proto::Family::kGafgyt);
+    add("Tsunami_Kaiten_IRC", proto::Family::kTsunami);
+    add("Daddyl33t_QBot_IoT", proto::Family::kDaddyl33t);
+    add("Mozi_P2P_Botnet", proto::Family::kMozi);
+    add("Hajime_P2P", proto::Family::kHajime);
+    add("VPNFilter_Stage2", proto::Family::kVpnFilter);
+    return rules;
+  }();
+  return kRules;
+}
+
+std::vector<const YaraRule*> yara_scan(util::BytesView binary) {
+  // De-obfuscate the whole image with the known XOR key, then substring
+  // match. (Real rules match the XORed bytes directly; equivalent.)
+  util::Bytes plain;
+  plain.reserve(binary.size());
+  for (auto b : binary) plain.push_back(b ^ kStringXorKey);
+
+  std::vector<const YaraRule*> hits;
+  for (const auto& rule : yara_rules()) {
+    if (util::contains(plain, rule.pattern)) hits.push_back(&rule);
+  }
+  return hits;
+}
+
+std::optional<proto::Family> yara_label(util::BytesView binary) {
+  const auto hits = yara_scan(binary);
+  if (hits.empty()) return std::nullopt;
+  return hits.front()->family;
+}
+
+proto::Family avclass_label(proto::Family ground_truth) {
+  if (proto::is_p2p(ground_truth)) return proto::Family::kMirai;  // §2.2 failure
+  return ground_truth;
+}
+
+proto::Family combined_label(util::BytesView binary, proto::Family ground_truth) {
+  const auto yara = yara_label(binary);
+  return yara ? *yara : avclass_label(ground_truth);
+}
+
+}  // namespace malnet::mal

@@ -1,0 +1,46 @@
+// Family labelling: the two static labelers the paper combines (§2.2).
+//
+//  * YARA-lite — crowd-sourced-style byte-pattern rules keyed on the family
+//    marker strings embedded in binaries.
+//  * AVClass-lite — an AV-label aggregator model. The paper notes AVClass2
+//    "seems to be often unreliable for MIPS binaries. For example, all the
+//    instances of the Mozi family ... are wrongly classified as Mirai."
+//    We reproduce that failure mode faithfully.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/family.hpp"
+#include "util/bytes.hpp"
+
+namespace malnet::mal {
+
+struct YaraRule {
+  std::string name;          // e.g. "Mirai_Botnet_Generic"
+  std::string pattern;       // byte pattern matched against the binary
+  proto::Family family;      // family the rule attributes
+};
+
+/// The built-in crowd-sourced rule set (one per family).
+[[nodiscard]] const std::vector<YaraRule>& yara_rules();
+
+/// Scans obfuscated binary bytes: rules are applied against the
+/// de-obfuscated string view (XOR key is public knowledge, as with Mirai's
+/// leaked table key). Returns all matching rules.
+[[nodiscard]] std::vector<const YaraRule*> yara_scan(util::BytesView binary);
+
+/// Best-effort family from YARA: the first match, or nullopt.
+[[nodiscard]] std::optional<proto::Family> yara_label(util::BytesView binary);
+
+/// AVClass-lite: aggregates AV vendor labels. Faithfully wrong for P2P
+/// MIPS binaries — Mozi and Hajime collapse into Mirai (§2.2).
+[[nodiscard]] proto::Family avclass_label(proto::Family ground_truth);
+
+/// Combined labeller used by the pipeline: YARA wins when it fires, else
+/// AVClass. (This is why the pipeline can still filter P2P samples.)
+[[nodiscard]] proto::Family combined_label(util::BytesView binary,
+                                           proto::Family ground_truth);
+
+}  // namespace malnet::mal

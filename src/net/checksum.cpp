@@ -1,0 +1,34 @@
+#include "net/checksum.hpp"
+
+namespace malnet::net {
+
+namespace {
+std::uint32_t sum16(util::BytesView data, std::uint32_t acc) {
+  for (std::size_t i = 0; i + 1 < data.size(); i += 2) {
+    acc += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (data.size() % 2) acc += static_cast<std::uint32_t>(data.back() << 8);
+  return acc;
+}
+
+std::uint16_t fold(std::uint32_t acc) {
+  while (acc >> 16) acc = (acc & 0xFFFF) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc & 0xFFFF);
+}
+}  // namespace
+
+std::uint16_t inet_checksum(util::BytesView data) { return fold(sum16(data, 0)); }
+
+std::uint16_t transport_checksum(Ipv4 src, Ipv4 dst, std::uint8_t proto,
+                                 util::BytesView segment) {
+  std::uint32_t acc = 0;
+  acc += src.value >> 16;
+  acc += src.value & 0xFFFF;
+  acc += dst.value >> 16;
+  acc += dst.value & 0xFFFF;
+  acc += proto;
+  acc += static_cast<std::uint32_t>(segment.size());
+  return fold(sum16(segment, acc));
+}
+
+}  // namespace malnet::net

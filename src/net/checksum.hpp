@@ -1,0 +1,18 @@
+// Internet checksum (RFC 1071) used by the IPv4/TCP/UDP/ICMP serializers.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.hpp"
+#include "util/bytes.hpp"
+
+namespace malnet::net {
+
+/// One's-complement sum over `data`, folded to 16 bits and complemented.
+[[nodiscard]] std::uint16_t inet_checksum(util::BytesView data);
+
+/// TCP/UDP checksum including the IPv4 pseudo-header.
+[[nodiscard]] std::uint16_t transport_checksum(Ipv4 src, Ipv4 dst, std::uint8_t proto,
+                                               util::BytesView segment);
+
+}  // namespace malnet::net

@@ -1,0 +1,54 @@
+#include "net/ipv4.hpp"
+
+#include <sstream>
+
+#include "util/str.hpp"
+
+namespace malnet::net {
+
+std::optional<Ipv4> parse_ipv4(std::string_view s) {
+  const auto parts = util::split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (const auto& p : parts) {
+    const auto oct = util::parse_u64(p);
+    if (!oct || *oct > 255) return std::nullopt;
+    v = (v << 8) | static_cast<std::uint32_t>(*oct);
+  }
+  return Ipv4{v};
+}
+
+std::string to_string(Ipv4 ip) {
+  std::ostringstream os;
+  os << int{ip.octet(0)} << '.' << int{ip.octet(1)} << '.' << int{ip.octet(2)} << '.'
+     << int{ip.octet(3)};
+  return os.str();
+}
+
+std::optional<Subnet> parse_subnet(std::string_view s) {
+  const auto slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto ip = parse_ipv4(s.substr(0, slash));
+  const auto len = util::parse_u64(s.substr(slash + 1));
+  if (!ip || !len || *len > 32) return std::nullopt;
+  return Subnet{*ip, static_cast<int>(*len)};
+}
+
+std::string to_string(const Subnet& s) {
+  return to_string(s.base) + "/" + std::to_string(s.prefix_len);
+}
+
+std::string to_string(const Endpoint& e) {
+  return to_string(e.ip) + ":" + std::to_string(e.port);
+}
+
+std::optional<Endpoint> parse_endpoint(std::string_view s) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const auto ip = parse_ipv4(s.substr(0, colon));
+  const auto port = util::parse_u64(s.substr(colon + 1));
+  if (!ip || !port || *port > 0xFFFF) return std::nullopt;
+  return Endpoint{*ip, static_cast<Port>(*port)};
+}
+
+}  // namespace malnet::net

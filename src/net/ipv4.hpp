@@ -1,0 +1,88 @@
+// IPv4 address, subnet and endpoint value types.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace malnet::net {
+
+/// An IPv4 address stored in host byte order.
+struct Ipv4 {
+  std::uint32_t value = 0;
+
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t v) : value(v) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | d) {}
+
+  constexpr auto operator<=>(const Ipv4&) const = default;
+
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value >> (8 * (3 - i)));
+  }
+  [[nodiscard]] constexpr bool is_unspecified() const { return value == 0; }
+};
+
+/// Parses dotted-quad notation. Returns nullopt on malformed input.
+[[nodiscard]] std::optional<Ipv4> parse_ipv4(std::string_view s);
+[[nodiscard]] std::string to_string(Ipv4 ip);
+
+/// A CIDR subnet, e.g. 192.0.2.0/24.
+struct Subnet {
+  Ipv4 base;
+  int prefix_len = 24;
+
+  constexpr auto operator<=>(const Subnet&) const = default;
+
+  [[nodiscard]] constexpr std::uint32_t mask() const {
+    return prefix_len == 0 ? 0u : ~0u << (32 - prefix_len);
+  }
+  [[nodiscard]] constexpr bool contains(Ipv4 ip) const {
+    return (ip.value & mask()) == (base.value & mask());
+  }
+  [[nodiscard]] constexpr std::uint32_t size() const {
+    return prefix_len == 0 ? ~0u : (1u << (32 - prefix_len));
+  }
+  /// Host address at `offset` within the subnet (0 = network address).
+  [[nodiscard]] constexpr Ipv4 host(std::uint32_t offset) const {
+    return Ipv4{(base.value & mask()) | (offset & ~mask())};
+  }
+};
+
+[[nodiscard]] std::optional<Subnet> parse_subnet(std::string_view s);
+[[nodiscard]] std::string to_string(const Subnet& s);
+
+using Port = std::uint16_t;
+
+/// A transport endpoint (address:port).
+struct Endpoint {
+  Ipv4 ip;
+  Port port = 0;
+
+  constexpr auto operator<=>(const Endpoint&) const = default;
+};
+
+[[nodiscard]] std::string to_string(const Endpoint& e);
+[[nodiscard]] std::optional<Endpoint> parse_endpoint(std::string_view s);
+
+}  // namespace malnet::net
+
+template <>
+struct std::hash<malnet::net::Ipv4> {
+  std::size_t operator()(const malnet::net::Ipv4& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value);
+  }
+};
+
+template <>
+struct std::hash<malnet::net::Endpoint> {
+  std::size_t operator()(const malnet::net::Endpoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(e.ip.value) << 16) ^ e.port);
+  }
+};

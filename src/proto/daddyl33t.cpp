@@ -1,0 +1,51 @@
+#include "proto/daddyl33t.hpp"
+
+#include <stdexcept>
+
+#include "util/str.hpp"
+
+namespace malnet::proto::daddyl33t {
+
+std::string encode_login(const std::string& bot_id) {
+  return "l33t LOGIN " + bot_id + "\n";
+}
+
+std::optional<std::string> decode_login(std::string_view line) {
+  const auto parts = util::split_ws(util::trim(line));
+  if (parts.size() != 3 || parts[0] != "l33t" || parts[1] != "LOGIN") {
+    return std::nullopt;
+  }
+  return parts[2];
+}
+
+bool is_ping(std::string_view line) { return util::trim(line) == ".ping"; }
+bool is_pong(std::string_view line) { return util::trim(line) == ".pong"; }
+
+std::string encode_attack(const AttackCommand& cmd) {
+  const auto kw = daddyl33t_keyword_of(cmd.type);
+  if (!kw) {
+    throw std::invalid_argument("daddyl33t: family does not implement " +
+                                proto::to_string(cmd.type));
+  }
+  return *kw + " " + net::to_string(cmd.target.ip) + " " +
+         std::to_string(cmd.target.port) + " " + std::to_string(cmd.duration_s) + "\n";
+}
+
+std::optional<AttackCommand> decode_attack(std::string_view line) {
+  const auto parts = util::split_ws(util::trim(line));
+  if (parts.size() != 4) return std::nullopt;
+  const auto type = daddyl33t_keyword_to_type(parts[0]);
+  const auto ip = net::parse_ipv4(parts[1]);
+  const auto port = util::parse_u64(parts[2]);
+  const auto secs = util::parse_u64(parts[3]);
+  if (!type || !ip || !port.has_value() || *port > 0xFFFF || !secs) return std::nullopt;
+  AttackCommand cmd;
+  cmd.family = Family::kDaddyl33t;
+  cmd.type = *type;
+  cmd.target = {*ip, static_cast<net::Port>(*port)};
+  cmd.duration_s = static_cast<std::uint32_t>(*secs);
+  cmd.raw = util::to_bytes(line);
+  return cmd;
+}
+
+}  // namespace malnet::proto::daddyl33t

@@ -1,0 +1,30 @@
+// The Daddyl33t C2 protocol: text-based, reverse engineered in the study
+// (§2.5a: "For Daddyl33t, we reverse engineer the communicated traffic and
+// create the profile"). QBot lineage with IoT-specific attack verbs.
+//
+//   Bot -> C2 on connect:  "l33t LOGIN <botid>\n"
+//   C2 keepalive:          ".ping\n" -> bot answers ".pong\n"
+//   C2 attack:             "<KEYWORD> <ip> <port> <secs>\n"
+//                          KEYWORD in {UDPRAW, HYDRASYN, TLS, NURSE, NFOV6};
+//                          NURSE targets ICMP, so its port field is 0.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "proto/attack.hpp"
+
+namespace malnet::proto::daddyl33t {
+
+[[nodiscard]] std::string encode_login(const std::string& bot_id);
+[[nodiscard]] std::optional<std::string> decode_login(std::string_view line);
+
+[[nodiscard]] inline std::string encode_ping() { return ".ping\n"; }
+[[nodiscard]] inline std::string encode_pong() { return ".pong\n"; }
+[[nodiscard]] bool is_ping(std::string_view line);
+[[nodiscard]] bool is_pong(std::string_view line);
+
+[[nodiscard]] std::string encode_attack(const AttackCommand& cmd);
+[[nodiscard]] std::optional<AttackCommand> decode_attack(std::string_view line);
+
+}  // namespace malnet::proto::daddyl33t

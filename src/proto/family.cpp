@@ -1,0 +1,31 @@
+#include "proto/family.hpp"
+
+#include "util/str.hpp"
+
+namespace malnet::proto {
+
+std::string to_string(Family f) {
+  switch (f) {
+    case Family::kMirai: return "Mirai";
+    case Family::kGafgyt: return "Gafgyt";
+    case Family::kTsunami: return "Tsunami";
+    case Family::kDaddyl33t: return "Daddyl33t";
+    case Family::kMozi: return "Mozi";
+    case Family::kHajime: return "Hajime";
+    case Family::kVpnFilter: return "VPNFilter";
+  }
+  return "?";
+}
+
+std::optional<Family> family_from_string(std::string_view name) {
+  for (const Family f :
+       {Family::kMirai, Family::kGafgyt, Family::kTsunami, Family::kDaddyl33t,
+        Family::kMozi, Family::kHajime, Family::kVpnFilter}) {
+    if (util::iequals(to_string(f), name)) return f;
+  }
+  return std::nullopt;
+}
+
+bool is_p2p(Family f) { return f == Family::kMozi || f == Family::kHajime; }
+
+}  // namespace malnet::proto

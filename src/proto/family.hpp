@@ -1,0 +1,28 @@
+// Malware family taxonomy (paper Table 6).
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace malnet::proto {
+
+enum class Family {
+  kMirai,      // binary C2 protocol
+  kGafgyt,     // text C2 protocol
+  kTsunami,    // IRC C2 protocol
+  kDaddyl33t,  // text C2 protocol (QBot lineage, IoT-targeting)
+  kMozi,       // P2P (DHT) — no central C2
+  kHajime,     // P2P — no central C2
+  kVpnFilter,  // APT; modelled with a TLS-ish C2 beacon
+};
+
+inline constexpr int kFamilyCount = 7;
+
+[[nodiscard]] std::string to_string(Family f);
+[[nodiscard]] std::optional<Family> family_from_string(std::string_view name);
+
+/// True for families whose C2 rendezvous is peer-to-peer (filtered out of
+/// the D-C2s dataset per §2.3a).
+[[nodiscard]] bool is_p2p(Family f);
+
+}  // namespace malnet::proto

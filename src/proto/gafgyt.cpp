@@ -1,0 +1,47 @@
+#include "proto/gafgyt.hpp"
+
+#include <stdexcept>
+
+#include "util/str.hpp"
+
+namespace malnet::proto::gafgyt {
+
+std::string encode_hello(const std::string& arch) { return "BUILD " + arch + "\n"; }
+
+std::optional<std::string> decode_hello(std::string_view line) {
+  const auto trimmed = util::trim(line);
+  if (trimmed.rfind("BUILD ", 0) != 0) return std::nullopt;
+  return std::string(util::trim(trimmed.substr(6)));
+}
+
+bool is_ping(std::string_view line) { return util::trim(line) == "PING"; }
+bool is_pong(std::string_view line) { return util::trim(line) == "PONG"; }
+
+std::string encode_attack(const AttackCommand& cmd) {
+  const auto kw = gafgyt_keyword_of(cmd.type);
+  if (!kw) {
+    throw std::invalid_argument("gafgyt: family does not implement " +
+                                proto::to_string(cmd.type));
+  }
+  return "!* " + *kw + " " + net::to_string(cmd.target.ip) + " " +
+         std::to_string(cmd.target.port) + " " + std::to_string(cmd.duration_s) + "\n";
+}
+
+std::optional<AttackCommand> decode_attack(std::string_view line) {
+  const auto parts = util::split_ws(util::trim(line));
+  if (parts.size() != 5 || parts[0] != "!*") return std::nullopt;
+  const auto type = gafgyt_keyword_to_type(parts[1]);
+  const auto ip = net::parse_ipv4(parts[2]);
+  const auto port = util::parse_u64(parts[3]);
+  const auto secs = util::parse_u64(parts[4]);
+  if (!type || !ip || !port || *port > 0xFFFF || !secs) return std::nullopt;
+  AttackCommand cmd;
+  cmd.family = Family::kGafgyt;
+  cmd.type = *type;
+  cmd.target = {*ip, static_cast<net::Port>(*port)};
+  cmd.duration_s = static_cast<std::uint32_t>(*secs);
+  cmd.raw = util::to_bytes(line);
+  return cmd;
+}
+
+}  // namespace malnet::proto::gafgyt

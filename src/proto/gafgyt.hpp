@@ -1,0 +1,31 @@
+// The Gafgyt C2 protocol: newline-terminated text, IRC-flavoured but not
+// IRC (§5.1: "Gafgyt ... use a text based protocol").
+//
+//   Bot -> C2 on connect:  "BUILD <arch>\n"
+//   C2 keepalive:          "PING\n"  -> bot answers "PONG\n"
+//   C2 attack:             "!* <KEYWORD> <ip> <port> <secs>\n"
+//   C2 stop:               "!* STOP\n"
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "proto/attack.hpp"
+
+namespace malnet::proto::gafgyt {
+
+[[nodiscard]] std::string encode_hello(const std::string& arch);
+[[nodiscard]] std::optional<std::string> decode_hello(std::string_view line);
+
+[[nodiscard]] inline std::string encode_ping() { return "PING\n"; }
+[[nodiscard]] inline std::string encode_pong() { return "PONG\n"; }
+[[nodiscard]] bool is_ping(std::string_view line);
+[[nodiscard]] bool is_pong(std::string_view line);
+
+/// Attack types without a Gafgyt keyword throw std::invalid_argument.
+[[nodiscard]] std::string encode_attack(const AttackCommand& cmd);
+[[nodiscard]] std::optional<AttackCommand> decode_attack(std::string_view line);
+
+[[nodiscard]] inline std::string encode_stop() { return "!* STOP\n"; }
+
+}  // namespace malnet::proto::gafgyt

@@ -1,0 +1,79 @@
+#include "proto/irc.hpp"
+
+#include <sstream>
+
+#include "util/str.hpp"
+
+namespace malnet::proto::irc {
+
+std::string IrcMessage::serialize() const {
+  std::ostringstream os;
+  if (!prefix.empty()) os << ':' << prefix << ' ';
+  os << command;
+  for (const auto& p : params) os << ' ' << p;
+  if (has_trailing) os << " :" << trailing;
+  os << "\r\n";
+  return os.str();
+}
+
+std::optional<IrcMessage> parse(std::string_view line) {
+  // Strip the line terminator(s).
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  if (line.empty()) return std::nullopt;
+
+  IrcMessage msg;
+  if (line.front() == ':') {
+    const auto sp = line.find(' ');
+    if (sp == std::string_view::npos) return std::nullopt;
+    msg.prefix = std::string(line.substr(1, sp - 1));
+    line.remove_prefix(sp + 1);
+  }
+  // Trailing part after " :".
+  const auto colon = line.find(" :");
+  if (colon != std::string_view::npos) {
+    msg.trailing = std::string(line.substr(colon + 2));
+    msg.has_trailing = true;
+    line = line.substr(0, colon);
+  }
+  const auto tokens = util::split_ws(line);
+  if (tokens.empty()) return std::nullopt;
+  msg.command = util::to_upper(tokens[0]);
+  msg.params.assign(tokens.begin() + 1, tokens.end());
+  return msg;
+}
+
+IrcMessage nick(const std::string& n) { return {.prefix = {}, .command = "NICK", .params = {n}, .trailing = {}, .has_trailing = false}; }
+
+IrcMessage user(const std::string& u) {
+  return {.prefix = {}, .command = "USER", .params = {u, "8", "*"},
+          .trailing = u, .has_trailing = true};
+}
+
+IrcMessage join(const std::string& channel) {
+  return {.prefix = {}, .command = "JOIN", .params = {channel}, .trailing = {},
+          .has_trailing = false};
+}
+
+IrcMessage privmsg(const std::string& target, const std::string& text) {
+  return {.prefix = {}, .command = "PRIVMSG", .params = {target}, .trailing = text,
+          .has_trailing = true};
+}
+
+IrcMessage ping(const std::string& token) {
+  return {.prefix = {}, .command = "PING", .params = {}, .trailing = token,
+          .has_trailing = true};
+}
+
+IrcMessage pong(const std::string& token) {
+  return {.prefix = {}, .command = "PONG", .params = {}, .trailing = token,
+          .has_trailing = true};
+}
+
+IrcMessage welcome(const std::string& nick) {
+  return {.prefix = "c2.irc", .command = "001", .params = {nick},
+          .trailing = "Welcome", .has_trailing = true};
+}
+
+}  // namespace malnet::proto::irc

@@ -1,0 +1,34 @@
+// Minimal IRC (RFC 2812 subset) for the Tsunami family, whose "main
+// distinction is its communication over the IRC protocol" (Table 6).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace malnet::proto::irc {
+
+/// One IRC line: [":" prefix SP] command [params] [" :" trailing].
+struct IrcMessage {
+  std::string prefix;   // without the leading ':'
+  std::string command;  // "NICK", "PRIVMSG", "001", ...
+  std::vector<std::string> params;
+  std::string trailing;
+  bool has_trailing = false;
+
+  [[nodiscard]] std::string serialize() const;  // includes "\r\n"
+};
+
+[[nodiscard]] std::optional<IrcMessage> parse(std::string_view line);
+
+/// Convenience builders for the Tsunami session flow.
+[[nodiscard]] IrcMessage nick(const std::string& n);
+[[nodiscard]] IrcMessage user(const std::string& u);
+[[nodiscard]] IrcMessage join(const std::string& channel);
+[[nodiscard]] IrcMessage privmsg(const std::string& target, const std::string& text);
+[[nodiscard]] IrcMessage ping(const std::string& token);
+[[nodiscard]] IrcMessage pong(const std::string& token);
+/// Numeric welcome (001) a server sends after registration.
+[[nodiscard]] IrcMessage welcome(const std::string& nick);
+
+}  // namespace malnet::proto::irc

@@ -1,0 +1,95 @@
+#include "proto/mirai.hpp"
+
+#include <stdexcept>
+
+namespace malnet::proto::mirai {
+
+util::Bytes encode_handshake(const std::string& bot_id) {
+  if (bot_id.size() > 255) throw std::invalid_argument("mirai: bot id too long");
+  util::ByteWriter w;
+  w.u32(1);
+  w.u8(static_cast<std::uint8_t>(bot_id.size()));
+  w.raw(bot_id);
+  return w.take();
+}
+
+std::optional<Handshake> decode_handshake(util::BytesView wire) {
+  try {
+    util::ByteReader r(wire);
+    if (r.u32() != 1) return std::nullopt;
+    const std::uint8_t len = r.u8();
+    Handshake h;
+    h.bot_id = r.str(len);
+    if (!r.done()) return std::nullopt;
+    return h;
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes encode_keepalive() { return util::Bytes{0x00, 0x00}; }
+
+bool is_keepalive(util::BytesView wire) {
+  return wire.size() == 2 && wire[0] == 0 && wire[1] == 0;
+}
+
+util::Bytes encode_attack(const AttackCommand& cmd) {
+  const auto vec = mirai_vector_of(cmd.type);
+  if (!vec) {
+    throw std::invalid_argument("mirai: family does not implement " +
+                                proto::to_string(cmd.type));
+  }
+  util::ByteWriter body;
+  body.u32(cmd.duration_s);
+  body.u8(*vec);
+  body.u8(1);  // one target
+  body.u32(cmd.target.ip.value);
+  body.u8(32);  // /32 target
+  if (cmd.target.port != 0) {
+    body.u8(1);  // one option
+    body.u8(kOptDport);
+    body.u8(2);
+    body.u16(cmd.target.port);
+  } else {
+    body.u8(0);
+  }
+  util::ByteWriter framed;
+  framed.lp16(body.bytes());
+  return framed.take();
+}
+
+std::optional<AttackCommand> decode_attack(util::BytesView wire) {
+  try {
+    util::ByteReader r(wire);
+    const util::Bytes body = r.lp16();
+    if (body.empty() || !r.done()) return std::nullopt;
+    util::ByteReader b(body);
+    AttackCommand cmd;
+    cmd.family = Family::kMirai;
+    cmd.duration_s = b.u32();
+    const auto type = mirai_vector_to_type(b.u8());
+    if (!type) return std::nullopt;
+    cmd.type = *type;
+    const std::uint8_t n_targets = b.u8();
+    if (n_targets == 0) return std::nullopt;
+    cmd.target.ip = net::Ipv4{b.u32()};
+    b.skip(1);  // prefix
+    for (std::uint8_t i = 1; i < n_targets; ++i) b.skip(5);  // extra targets
+    const std::uint8_t n_opts = b.u8();
+    for (std::uint8_t i = 0; i < n_opts; ++i) {
+      const std::uint8_t key = b.u8();
+      const std::uint8_t len = b.u8();
+      const util::Bytes val = b.raw(len);
+      if (key == kOptDport && len == 2) {
+        cmd.target.port = static_cast<net::Port>((val[0] << 8) | val[1]);
+      }
+    }
+    if (!b.done()) return std::nullopt;
+    cmd.raw.assign(wire.begin(), wire.end());
+    return cmd;
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace malnet::proto::mirai

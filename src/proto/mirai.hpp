@@ -1,0 +1,43 @@
+// The Mirai C2 wire protocol (binary), as published with the leaked Mirai
+// source and described in §5.1. Bot-side and C2-side message codecs.
+//
+// Bot -> C2 on connect:   u32 0x00000001, u8 id_len, id bytes
+// Keepalive (both ways):  u16 0x0000
+// C2 -> Bot attack:       u16 len, then len bytes of:
+//                           u32 duration_s, u8 vector, u8 n_targets,
+//                           n x (u32 ipv4, u8 prefix),
+//                           u8 n_opts, n x (u8 key, u8 val_len, bytes)
+// Option key 7 is the destination port ("dport" in the Mirai source).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "proto/attack.hpp"
+#include "util/bytes.hpp"
+
+namespace malnet::proto::mirai {
+
+inline constexpr std::uint8_t kOptDport = 7;
+
+/// Bot handshake: magic + bot identifier (source-build string).
+[[nodiscard]] util::Bytes encode_handshake(const std::string& bot_id);
+
+struct Handshake {
+  std::string bot_id;
+};
+[[nodiscard]] std::optional<Handshake> decode_handshake(util::BytesView wire);
+
+/// Two zero bytes; bots ping every ~60 s, the C2 echoes.
+[[nodiscard]] util::Bytes encode_keepalive();
+[[nodiscard]] bool is_keepalive(util::BytesView wire);
+
+/// C2 -> bot attack command. The command's family is kMirai; types without
+/// a Mirai vector mapping are rejected with std::invalid_argument.
+[[nodiscard]] util::Bytes encode_attack(const AttackCommand& cmd);
+
+/// Decodes a framed attack command. Returns nullopt on anything that is not
+/// a well-formed attack frame (including keepalives).
+[[nodiscard]] std::optional<AttackCommand> decode_attack(util::BytesView wire);
+
+}  // namespace malnet::proto::mirai

@@ -1,0 +1,30 @@
+// Dataset serialization — the open-data commitment of §1 ("Our group is
+// committed ... sharing tools and our data openly"): the five study
+// datasets serialize to a single compact binary artifact ("MDS", MalNet
+// DataSet) that reloads bit-identically, so analyses can be re-run and
+// extended without re-simulating the year.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace malnet::report {
+
+inline constexpr std::uint32_t kDatasetMagic = 0x4D445331;  // "MDS1"
+
+/// Serializes every dataset (D-Samples metadata, D-C2s, D-Exploits,
+/// D-DDOS, D-PC2, downloader set and counters). Binary *bytes* of samples
+/// are not included — the datasets describe findings, not malware.
+[[nodiscard]] util::Bytes serialize_datasets(const core::StudyResults& results);
+
+/// Parses an artifact produced by serialize_datasets. Returns nullopt on
+/// bad magic/version or structural corruption.
+[[nodiscard]] std::optional<core::StudyResults> parse_datasets(util::BytesView data);
+
+/// File convenience wrappers; throw on I/O failure.
+void save_datasets(const core::StudyResults& results, const std::string& path);
+[[nodiscard]] core::StudyResults load_datasets(const std::string& path);
+
+}  // namespace malnet::report

@@ -1,0 +1,104 @@
+#include "report/digest.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "botnet/world.hpp"
+#include "util/simtime.hpp"
+#include "vulndb/vulndb.hpp"
+
+namespace malnet::report {
+
+namespace {
+
+/// Maps a study day onto its 1-based study week. Days in the gaps between
+/// active collection periods (reporting lag pushes some samples there)
+/// belong to the last started week — a continuous monitoring service keeps
+/// reporting between collection bursts.
+int week_of(std::int64_t day) {
+  const auto& starts = botnet::active_week_start_days();
+  int week = 1;
+  for (std::size_t w = 0; w < starts.size(); ++w) {
+    if (day >= starts[w]) week = static_cast<int>(w) + 1;
+  }
+  return week;
+}
+
+}  // namespace
+
+WeeklyDigest build_weekly_digest(const core::StudyResults& results, int week) {
+  WeeklyDigest digest;
+  digest.week = week;
+  const auto& starts = botnet::active_week_start_days();
+  if (week >= 1 && week <= static_cast<int>(starts.size())) {
+    digest.first_day = starts[static_cast<std::size_t>(week - 1)];
+  }
+
+  for (const auto& s : results.d_samples) {
+    if (week_of(s.day) == week) ++digest.new_samples;
+  }
+  for (const auto& [addr, rec] : results.d_c2s) {
+    if (week_of(rec.discovery_day) != week) continue;
+    digest.new_c2s.push_back(addr);
+    if (!rec.vt_malicious_same_day) digest.ti_missed_c2s.push_back(addr);
+  }
+
+  // Vulnerabilities first observed this week across the whole study.
+  std::map<vulndb::VulnId, std::int64_t> first_seen;
+  for (const auto& e : results.d_exploits) {
+    const auto it = first_seen.find(e.vuln);
+    if (it == first_seen.end() || e.day < it->second) first_seen[e.vuln] = e.day;
+  }
+  for (const auto& [vuln, day] : first_seen) {
+    if (week_of(day) == week) {
+      digest.new_vulns.push_back(vulndb::to_string(vuln));
+    }
+  }
+
+  for (const auto& d : results.d_ddos) {
+    if (week_of(d.day) != week) continue;
+    ++digest.attacks;
+    digest.attack_lines.push_back(d.detection.command.summary() + " via " +
+                                  d.c2_address);
+  }
+  return digest;
+}
+
+std::vector<WeeklyDigest> build_all_digests(const core::StudyResults& results) {
+  std::vector<WeeklyDigest> out;
+  const auto weeks = static_cast<int>(botnet::active_week_start_days().size());
+  for (int w = 1; w <= weeks; ++w) {
+    auto digest = build_weekly_digest(results, w);
+    if (digest.new_samples > 0 || !digest.new_c2s.empty() || digest.attacks > 0) {
+      out.push_back(std::move(digest));
+    }
+  }
+  return out;
+}
+
+std::string render_digest(const WeeklyDigest& digest) {
+  std::ostringstream os;
+  os << "--- MalNet weekly digest: study week " << digest.week << " ("
+     << util::study_date(digest.first_day) << ") ---\n";
+  os << digest.new_samples << " new binaries analysed; " << digest.new_c2s.size()
+     << " new C2 server(s)";
+  if (!digest.ti_missed_c2s.empty()) {
+    os << ", of which " << digest.ti_missed_c2s.size()
+       << " unknown to threat intelligence:";
+    for (const auto& addr : digest.ti_missed_c2s) os << ' ' << addr;
+  }
+  os << '\n';
+  if (!digest.new_vulns.empty()) {
+    os << "first sightings of exploited vulnerabilities:";
+    for (const auto& v : digest.new_vulns) os << ' ' << v << ';';
+    os << '\n';
+  }
+  if (digest.attacks > 0) {
+    os << digest.attacks << " DDoS command(s) eavesdropped:\n";
+    for (const auto& line : digest.attack_lines) os << "  " << line << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace malnet::report

@@ -1,0 +1,36 @@
+// Weekly digests — the continuous-monitoring product of §1's deployment
+// vision: for each study week, what a subscriber (ISP, CERT, hoster) would
+// have received: newly discovered C2s (and which TI still missed), newly
+// exploited vulnerabilities, and attacks eavesdropped that week.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asdb/asdb.hpp"
+#include "core/pipeline.hpp"
+
+namespace malnet::report {
+
+struct WeeklyDigest {
+  int week = 0;                 // study week (1-based, Appendix E layout)
+  std::int64_t first_day = 0;   // first study day of the week
+  int new_samples = 0;
+  std::vector<std::string> new_c2s;        // first discovered this week
+  std::vector<std::string> ti_missed_c2s;  // of those, unknown to TI
+  std::vector<std::string> new_vulns;      // first observed this week
+  int attacks = 0;
+  std::vector<std::string> attack_lines;   // one-line summaries
+};
+
+/// Builds the digest for one study week (1..31).
+[[nodiscard]] WeeklyDigest build_weekly_digest(const core::StudyResults& results,
+                                               int week);
+
+/// All non-empty weekly digests, in order.
+[[nodiscard]] std::vector<WeeklyDigest> build_all_digests(
+    const core::StudyResults& results);
+
+[[nodiscard]] std::string render_digest(const WeeklyDigest& digest);
+
+}  // namespace malnet::report

@@ -1,0 +1,154 @@
+#include "report/dossier.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "util/simtime.hpp"
+#include "util/str.hpp"
+#include "vulndb/vulndb.hpp"
+
+namespace malnet::report {
+
+std::optional<C2Dossier> build_c2_dossier(const core::StudyResults& results,
+                                          const asdb::AsDatabase& asdb,
+                                          const std::string& address) {
+  const auto it = results.d_c2s.find(address);
+  if (it == results.d_c2s.end()) return std::nullopt;
+
+  C2Dossier dossier;
+  dossier.record = it->second;
+  if (const auto* as = asdb.by_ip(it->second.ip)) dossier.as_info = *as;
+  dossier.serves_loaders = it->second.is_downloader;
+
+  std::set<std::string> sample_shas;
+  for (const auto& s : results.d_samples) {
+    for (const auto& addr : s.c2_addresses) {
+      if (addr == address) {
+        dossier.samples.push_back(s);
+        sample_shas.insert(s.sha256);
+        break;
+      }
+    }
+  }
+  for (const auto& e : results.d_exploits) {
+    if (sample_shas.count(e.sample_sha) > 0) dossier.exploits.push_back(e);
+  }
+  for (const auto& d : results.d_ddos) {
+    if (d.c2_address == address) dossier.attacks.push_back(d);
+  }
+  return dossier;
+}
+
+std::optional<SampleDossier> build_sample_dossier(const core::StudyResults& results,
+                                                  const std::string& sha256) {
+  SampleDossier dossier;
+  bool found = false;
+  for (const auto& s : results.d_samples) {
+    if (s.sha256 == sha256) {
+      dossier.record = s;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return std::nullopt;
+  for (const auto& addr : dossier.record.c2_addresses) {
+    const auto it = results.d_c2s.find(addr);
+    if (it != results.d_c2s.end()) dossier.c2s.push_back(it->second);
+  }
+  for (const auto& e : results.d_exploits) {
+    if (e.sample_sha == sha256) dossier.exploits.push_back(e);
+  }
+  for (const auto& d : results.d_ddos) {
+    if (d.sample_sha == sha256) dossier.attacks.push_back(d);
+  }
+  return dossier;
+}
+
+namespace {
+
+void render_exploits(std::ostringstream& os,
+                     const std::vector<core::ExploitRecord>& exploits) {
+  std::set<std::string> lines;
+  for (const auto& e : exploits) {
+    const auto& v = vulndb::VulnDatabase::instance().by_id(e.vuln);
+    lines.insert("  - " + v.name + " against " + v.target_device +
+                 " (loader http://" + e.downloader_host + "/" + e.loader_name + ")");
+  }
+  for (const auto& l : lines) os << l << '\n';
+}
+
+void render_attacks(std::ostringstream& os,
+                    const std::vector<core::DdosRecord>& attacks) {
+  for (const auto& a : attacks) {
+    os << "  - day " << a.day << " (" << util::study_date(a.day) << "): "
+       << a.detection.command.summary() << " ["
+       << core::to_string(a.detection.method) << "]\n";
+  }
+}
+
+}  // namespace
+
+std::string render_dossier(const C2Dossier& dossier) {
+  std::ostringstream os;
+  const auto& rec = dossier.record;
+  os << "=== C2 dossier: " << rec.address << " ===\n";
+  os << "endpoint " << net::to_string(rec.ip) << ':' << rec.port
+     << (rec.is_dns ? " (DNS-fronted)" : "") << '\n';
+  if (dossier.as_info) {
+    os << "hosted at AS" << dossier.as_info->asn << " " << dossier.as_info->name
+       << " (" << dossier.as_info->country << ", "
+       << asdb::to_string(dossier.as_info->type)
+       << (dossier.as_info->anti_ddos ? ", sells anti-DDoS" : "") << ")\n";
+  }
+  os << "first seen day " << rec.discovery_day << " ("
+     << util::study_date(rec.discovery_day) << "); observed live on "
+     << rec.live_days.size() << " day(s); observed lifespan "
+     << rec.observed_lifespan_days() << " day(s)\n";
+  os << "threat intel: " << (rec.vt_malicious_same_day ? "known" : "MISSED")
+     << " on discovery day (" << rec.vt_vendors_same_day << " vendors), "
+     << (rec.vt_malicious_requery ? "known" : "still missed") << " at re-query\n";
+  if (dossier.serves_loaders) {
+    os << "also serves malware loaders over http/80 (downloader co-hosting)\n";
+  }
+  os << "\nreferred by " << dossier.samples.size() << " binarie(s):\n";
+  for (const auto& s : dossier.samples) {
+    os << "  - " << s.sha256.substr(0, 16) << "… (" << proto::to_string(s.label)
+       << ", day " << s.day << ")\n";
+  }
+  if (!dossier.exploits.empty()) {
+    os << "\nproliferation observed from those binaries:\n";
+    render_exploits(os, dossier.exploits);
+  }
+  if (!dossier.attacks.empty()) {
+    os << "\nattacks issued by this server:\n";
+    render_attacks(os, dossier.attacks);
+  }
+  return os.str();
+}
+
+std::string render_dossier(const SampleDossier& dossier) {
+  std::ostringstream os;
+  const auto& rec = dossier.record;
+  os << "=== sample dossier: " << rec.sha256.substr(0, 16) << "… ===\n";
+  os << "family " << proto::to_string(rec.label) << ", collected day " << rec.day
+     << " (" << util::study_date(rec.day) << ") from "
+     << botnet::to_string(rec.source) << ", " << rec.vt_detections
+     << " AV detections\n";
+  if (rec.p2p) os << "peer-to-peer family (no central C2)\n";
+  os << "\nC2 infrastructure:\n";
+  for (const auto& c2 : dossier.c2s) {
+    os << "  - " << c2.address << ':' << c2.port << " ("
+       << (c2.ever_live() ? "observed LIVE" : "dead on analysis day") << ")\n";
+  }
+  if (!dossier.exploits.empty()) {
+    os << "\nproliferation:\n";
+    render_exploits(os, dossier.exploits);
+  }
+  if (!dossier.attacks.empty()) {
+    os << "\nattacks this binary was commanded to launch:\n";
+    render_attacks(os, dossier.attacks);
+  }
+  return os.str();
+}
+
+}  // namespace malnet::report

@@ -1,0 +1,50 @@
+// Attribution dossiers — the paper's core pitch made executable: "a
+// binary-centric study can create a holistic picture of the IoT malware
+// with full attribution ... connect a binary and its family, with a live
+// C2 server, a set of proliferation techniques, and even actual launched
+// DDoS attacks" (§1).
+//
+// Given one C2 address (or one sample hash), gather everything the study
+// knows across all five datasets into a single linked record.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asdb/asdb.hpp"
+#include "core/pipeline.hpp"
+
+namespace malnet::report {
+
+/// Everything attributable to one C2 address.
+struct C2Dossier {
+  core::C2Record record;
+  std::vector<core::SampleRecord> samples;       // binaries referring to it
+  std::vector<core::ExploitRecord> exploits;     // exploits those binaries used
+  std::vector<core::DdosRecord> attacks;         // commands it issued
+  bool serves_loaders = false;                   // §3.1 co-hosting
+  std::optional<asdb::AsInfo> as_info;           // hosting environment
+};
+
+/// Builds the dossier; nullopt if the address is not in D-C2s.
+[[nodiscard]] std::optional<C2Dossier> build_c2_dossier(
+    const core::StudyResults& results, const asdb::AsDatabase& asdb,
+    const std::string& address);
+
+/// Everything attributable to one sample.
+struct SampleDossier {
+  core::SampleRecord record;
+  std::vector<core::C2Record> c2s;
+  std::vector<core::ExploitRecord> exploits;
+  std::vector<core::DdosRecord> attacks;
+};
+
+[[nodiscard]] std::optional<SampleDossier> build_sample_dossier(
+    const core::StudyResults& results, const std::string& sha256);
+
+/// Human-readable dossier renderings.
+[[nodiscard]] std::string render_dossier(const C2Dossier& dossier);
+[[nodiscard]] std::string render_dossier(const SampleDossier& dossier);
+
+}  // namespace malnet::report

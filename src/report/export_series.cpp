@@ -1,0 +1,172 @@
+#include "report/export_series.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "report/summary.hpp"
+#include "util/csv.hpp"
+#include "vulndb/vulndb.hpp"
+
+namespace malnet::report {
+
+namespace {
+
+std::string cdf_csv(const util::Cdf& cdf, const std::string& x_name) {
+  util::CsvWriter w({x_name, "cumulative_fraction"});
+  for (const auto& [x, p] : cdf.steps()) {
+    w.field(x, 2).field(p, 6);
+    w.end_row();
+  }
+  return w.str();
+}
+
+}  // namespace
+
+std::map<std::string, std::string> export_figure_series(
+    const core::StudyResults& results, const asdb::AsDatabase& asdb) {
+  std::map<std::string, std::string> out;
+
+  // Figure 1.
+  {
+    util::CsvWriter w({"week", "asn", "as_name", "c2_count"});
+    for (const auto& [key, n] : weekly_as_counts(results)) {
+      const auto* info = asdb.by_asn(key.second);
+      w.field(std::int64_t{key.first})
+          .field(std::uint64_t{key.second})
+          .field(info != nullptr ? info->name : "?")
+          .field(std::int64_t{n});
+      w.end_row();
+    }
+    out["fig1_weekly_heatmap.csv"] = w.str();
+  }
+
+  const auto ls = lifespan_stats(results);
+  out["fig2_lifetime_ip.csv"] = cdf_csv(ls.ip_lifetimes, "lifetime_days");
+  out["fig3_lifetime_domain.csv"] = cdf_csv(ls.domain_lifetimes, "lifetime_days");
+
+  // Figure 4.
+  {
+    util::CsvWriter w({"target", "round", "responded"});
+    for (const auto& [ep, bits] : results.d_pc2.raster) {
+      for (std::size_t r = 0; r < bits.size(); ++r) {
+        w.field(net::to_string(ep))
+            .field(std::uint64_t{r})
+            .field(std::uint64_t{bits[r] ? 1u : 0u});
+        w.end_row();
+      }
+    }
+    out["fig4_probe_raster.csv"] = w.str();
+  }
+
+  const auto sh = sharing_stats(results);
+  out["fig5_samples_per_c2.csv"] = cdf_csv(sh.samples_per_c2_ip, "samples");
+  out["fig6_samples_per_domain.csv"] = cdf_csv(sh.samples_per_domain, "samples");
+  out["fig7_vendor_cdf.csv"] = cdf_csv(ti_stats(results).vendors_per_c2, "vendors");
+
+  // Figure 8.
+  {
+    util::CsvWriter w({"vulnerability", "week", "binaries"});
+    std::map<std::pair<vulndb::VulnId, std::int64_t>, int> counts;
+    for (const auto& e : results.d_exploits) ++counts[{e.vuln, e.day / 7}];
+    for (const auto& [key, n] : counts) {
+      w.field(vulndb::to_string(key.first)).field(key.second).field(std::int64_t{n});
+      w.end_row();
+    }
+    out["fig8_vuln_weekly.csv"] = w.str();
+  }
+
+  // Figure 9.
+  {
+    std::map<std::string, std::set<std::string>> samples_per_loader;
+    for (const auto& e : results.d_exploits) {
+      if (!e.loader_name.empty()) {
+        samples_per_loader[e.loader_name].insert(e.sample_sha);
+      }
+    }
+    util::CsvWriter w({"loader", "binaries"});
+    for (const auto& [loader, shas] : samples_per_loader) {
+      w.field(loader).field(std::uint64_t{shas.size()});
+      w.end_row();
+    }
+    out["fig9_loaders.csv"] = w.str();
+  }
+
+  const auto dd = ddos_stats(results, asdb);
+
+  // Figure 10.
+  {
+    util::CsvWriter w({"protocol", "attacks"});
+    for (const auto& [proto, n] : dd.by_protocol) {
+      w.field(proto).field(std::int64_t{n});
+      w.end_row();
+    }
+    out["fig10_protocols.csv"] = w.str();
+  }
+
+  // Figure 11.
+  {
+    util::CsvWriter w({"attack_type", "family", "attacks"});
+    for (const auto& [key, n] : dd.by_type_family) {
+      w.field(key.first).field(key.second).field(std::int64_t{n});
+      w.end_row();
+    }
+    out["fig11_types.csv"] = w.str();
+  }
+
+  // Figure 12.
+  {
+    util::CsvWriter w({"dimension", "key", "count"});
+    for (const auto& [k, n] : dd.target_as_types) {
+      w.field("as_type").field(k).field(std::int64_t{n});
+      w.end_row();
+    }
+    for (const auto& [k, n] : dd.target_countries) {
+      w.field("country").field(k).field(std::int64_t{n});
+      w.end_row();
+    }
+    for (const auto& [k, n] : dd.c2_countries) {
+      w.field("c2_country").field(k).field(std::int64_t{n});
+      w.end_row();
+    }
+    out["fig12_targets.csv"] = w.str();
+  }
+
+  // Figure 13.
+  {
+    const auto per_as = c2s_per_as(results);
+    std::vector<std::pair<std::uint32_t, int>> sorted(per_as.begin(), per_as.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    int total = 0;
+    for (const auto& [asn, n] : sorted) total += n;
+    util::CsvWriter w({"rank", "asn", "c2_count", "cumulative_fraction"});
+    double cum = 0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      cum += sorted[i].second;
+      w.field(std::uint64_t{i + 1})
+          .field(std::uint64_t{sorted[i].first})
+          .field(std::int64_t{sorted[i].second})
+          .field(total > 0 ? cum / total : 0.0, 6);
+      w.end_row();
+    }
+    out["fig13_as_rank.csv"] = w.str();
+  }
+
+  return out;
+}
+
+std::size_t write_figure_series(const core::StudyResults& results,
+                                const asdb::AsDatabase& asdb,
+                                const std::string& directory) {
+  const auto series = export_figure_series(results, asdb);
+  for (const auto& [name, content] : series) {
+    const std::string path = directory + "/" + name;
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("cannot write " + path);
+    f << content;
+  }
+  return series.size();
+}
+
+}  // namespace malnet::report

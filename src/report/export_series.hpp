@@ -1,0 +1,36 @@
+// CSV series exports: the numeric data behind each figure, in a form any
+// plotting stack can ingest directly (one file per figure). The ASCII
+// figures in figures.hpp are for the terminal; these are for papers.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace malnet::report {
+
+/// Returns { filename -> CSV content } covering every figure:
+///   fig1_weekly_heatmap.csv   week, asn, as_name, c2_count
+///   fig2_lifetime_ip.csv      lifetime_days, cumulative_fraction
+///   fig3_lifetime_domain.csv  lifetime_days, cumulative_fraction
+///   fig4_probe_raster.csv     target, round, responded
+///   fig5_samples_per_c2.csv   samples, cumulative_fraction
+///   fig6_samples_per_domain.csv
+///   fig7_vendor_cdf.csv       vendors, cumulative_fraction
+///   fig8_vuln_weekly.csv      vulnerability, week, binaries
+///   fig9_loaders.csv          loader, binaries
+///   fig10_protocols.csv       protocol, attacks
+///   fig11_types.csv           attack_type, family, attacks
+///   fig12_targets.csv         dimension (as_type|country|c2_country), key, count
+///   fig13_as_rank.csv         rank, asn, c2_count, cumulative_fraction
+[[nodiscard]] std::map<std::string, std::string> export_figure_series(
+    const core::StudyResults& results, const asdb::AsDatabase& asdb);
+
+/// Writes every series into `directory` (created by the caller). Returns
+/// the number of files written; throws on I/O failure.
+std::size_t write_figure_series(const core::StudyResults& results,
+                                const asdb::AsDatabase& asdb,
+                                const std::string& directory);
+
+}  // namespace malnet::report

@@ -1,0 +1,51 @@
+// Emitters for the paper's figures: each returns the plotted series as an
+// ASCII rendering, prefixed with the headline statistics the paper draws
+// from that figure.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace malnet::report {
+
+/// Fig 1: weekly C2 activity heatmap across the ten most active ASes.
+[[nodiscard]] std::string figure1_heatmap(const core::StudyResults& results,
+                                          const asdb::AsDatabase& asdb);
+
+/// Fig 2 / Fig 3: CDFs of observed C2 lifetimes (IPs / domains).
+[[nodiscard]] std::string figure2_lifetime_ip(const core::StudyResults& results);
+[[nodiscard]] std::string figure3_lifetime_domain(const core::StudyResults& results);
+
+/// Fig 4: probe-response raster and the 91% second-probe statistic.
+[[nodiscard]] std::string figure4_probe_raster(const core::StudyResults& results);
+
+/// Fig 5 / Fig 6: CDFs of distinct binaries per C2 IP / per C2 domain.
+[[nodiscard]] std::string figure5_samples_per_c2(const core::StudyResults& results);
+[[nodiscard]] std::string figure6_samples_per_domain(const core::StudyResults& results);
+
+/// Fig 7: CDF of #vendors flagging a known C2.
+[[nodiscard]] std::string figure7_vendor_cdf(const core::StudyResults& results);
+
+/// Fig 8: per-vulnerability daily exploitation counts (12 panels).
+[[nodiscard]] std::string figure8_vuln_timeseries(const core::StudyResults& results);
+
+/// Fig 9: loader filename frequencies.
+[[nodiscard]] std::string figure9_loaders(const core::StudyResults& results);
+
+/// Fig 10: DDoS attacks by target protocol.
+[[nodiscard]] std::string figure10_ddos_protocols(const core::StudyResults& results,
+                                                  const asdb::AsDatabase& asdb);
+
+/// Fig 11: attack type x malware family distribution.
+[[nodiscard]] std::string figure11_ddos_types(const core::StudyResults& results,
+                                              const asdb::AsDatabase& asdb);
+
+/// Fig 12: DDoS targets by country and AS type.
+[[nodiscard]] std::string figure12_targets(const core::StudyResults& results,
+                                           const asdb::AsDatabase& asdb);
+
+/// Fig 13: CDF of the number of ASes hosting C2s.
+[[nodiscard]] std::string figure13_as_cdf(const core::StudyResults& results);
+
+}  // namespace malnet::report

@@ -1,0 +1,132 @@
+#include "report/render.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/str.hpp"
+
+namespace malnet::report {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c ? "  " : "") << util::pad_right(cells[c], widths[c]);
+    }
+    os << '\n';
+  };
+  line(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-') + (c + 1 < widths.size() ? "  " : "");
+  }
+  os << rule << '\n';
+  for (const auto& r : rows_) line(r);
+  return os.str();
+}
+
+std::string render_cdf(const util::Cdf& cdf, const std::string& x_label,
+                       std::size_t max_points) {
+  std::ostringstream os;
+  if (cdf.empty()) {
+    os << "(empty CDF: " << x_label << ")\n";
+    return os.str();
+  }
+  os << "CDF of " << x_label << "  (n=" << cdf.count() << ", mean="
+     << util::fixed(cdf.mean(), 2) << ", min=" << util::fixed(cdf.min(), 2)
+     << ", max=" << util::fixed(cdf.max(), 2) << ")\n";
+  const auto steps = cdf.steps();
+  const std::size_t stride = std::max<std::size_t>(1, steps.size() / max_points);
+  for (std::size_t i = 0; i < steps.size(); i += stride) {
+    const auto [x, p] = steps[i];
+    const int bar = static_cast<int>(p * 40);
+    os << util::pad_left(util::fixed(x, 1), 9) << "  "
+       << util::pad_left(util::percent(p), 7) << "  " << std::string(bar, '#') << '\n';
+  }
+  if ((steps.size() - 1) % stride != 0) {
+    const auto [x, p] = steps.back();
+    os << util::pad_left(util::fixed(x, 1), 9) << "  "
+       << util::pad_left(util::percent(p), 7) << "  "
+       << std::string(static_cast<int>(p * 40), '#') << '\n';
+  }
+  return os.str();
+}
+
+std::string render_bars(const std::vector<std::pair<std::string, double>>& data,
+                        int width) {
+  double max_v = 0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : data) {
+    max_v = std::max(max_v, v);
+    label_w = std::max(label_w, label.size());
+  }
+  std::ostringstream os;
+  for (const auto& [label, v] : data) {
+    const int bar = max_v > 0 ? static_cast<int>(v / max_v * width) : 0;
+    os << util::pad_right(label, label_w) << "  " << util::pad_left(util::fixed(v, 0), 6)
+       << "  " << std::string(bar, '#') << '\n';
+  }
+  return os.str();
+}
+
+std::string render_heatmap(const std::vector<std::string>& row_labels,
+                           const std::vector<std::vector<double>>& cells) {
+  if (row_labels.size() != cells.size()) {
+    throw std::invalid_argument("render_heatmap: label/row mismatch");
+  }
+  static constexpr char kGlyphs[] = " .:-=+*#%@";
+  double max_v = 0;
+  std::size_t label_w = 0;
+  for (std::size_t r = 0; r < cells.size(); ++r) {
+    label_w = std::max(label_w, row_labels[r].size());
+    for (const double v : cells[r]) max_v = std::max(max_v, v);
+  }
+  std::ostringstream os;
+  for (std::size_t r = 0; r < cells.size(); ++r) {
+    os << util::pad_right(row_labels[r], label_w) << " |";
+    for (const double v : cells[r]) {
+      const int idx =
+          max_v > 0 ? std::min(9, static_cast<int>(v / max_v * 9.999)) : 0;
+      os << kGlyphs[idx];
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+std::string render_raster(const std::vector<std::string>& row_labels,
+                          const std::vector<std::vector<bool>>& rows) {
+  if (row_labels.size() != rows.size()) {
+    throw std::invalid_argument("render_raster: label/row mismatch");
+  }
+  std::size_t label_w = 0;
+  for (const auto& l : row_labels) label_w = std::max(label_w, l.size());
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    os << util::pad_right(row_labels[r], label_w) << " |";
+    for (const bool b : rows[r]) os << (b ? '#' : '.');
+    os << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace malnet::report

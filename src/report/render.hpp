@@ -1,0 +1,44 @@
+// ASCII rendering for tables, CDFs, histograms, heatmaps and rasters —
+// the terminal equivalents of the paper's figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace malnet::report {
+
+/// A simple text table with a header row and aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a CDF as "value  cum%" pairs sampled at up to `max_points`
+/// distinct values, plus min/mean/max summary.
+[[nodiscard]] std::string render_cdf(const util::Cdf& cdf, const std::string& x_label,
+                                     std::size_t max_points = 20);
+
+/// Horizontal bar chart from (label, count) pairs.
+[[nodiscard]] std::string render_bars(
+    const std::vector<std::pair<std::string, double>>& data, int width = 40);
+
+/// Heatmap: rows x cols of counts, rendered with density glyphs " .:-=+*#%@".
+[[nodiscard]] std::string render_heatmap(const std::vector<std::string>& row_labels,
+                                         const std::vector<std::vector<double>>& cells);
+
+/// Boolean raster (Figure 4 style): '#' responsive, '.' silent.
+[[nodiscard]] std::string render_raster(const std::vector<std::string>& row_labels,
+                                        const std::vector<std::vector<bool>>& rows);
+
+}  // namespace malnet::report

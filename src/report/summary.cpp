@@ -1,0 +1,288 @@
+#include "report/summary.hpp"
+
+#include <set>
+
+#include "botnet/world.hpp"
+#include "proto/attack.hpp"
+
+namespace malnet::report {
+
+LifespanStats lifespan_stats(const core::StudyResults& results) {
+  LifespanStats out;
+  util::Cdf all;
+  for (const auto& [addr, rec] : results.d_c2s) {
+    if (!rec.ever_live()) continue;
+    const auto span = static_cast<double>(rec.observed_lifespan_days());
+    all.add(span);
+    if (rec.is_dns) {
+      out.domain_lifetimes.add(span);
+    } else {
+      out.ip_lifetimes.add(span);
+    }
+  }
+  if (!all.empty()) {
+    out.one_day_fraction = all.mass_at(1.0);
+    out.mean_days = all.mean();
+  }
+
+  // Dead-on-arrival: per C2-referring sample, was any referred C2 live on
+  // the sample's publication day?
+  int referring = 0, dead = 0;
+  for (const auto& s : results.d_samples) {
+    if (s.p2p || s.c2_addresses.empty()) continue;
+    ++referring;
+    bool live = false;
+    for (const auto& addr : s.c2_addresses) {
+      const auto it = results.d_c2s.find(addr);
+      if (it == results.d_c2s.end()) continue;
+      for (const auto d : it->second.live_days) {
+        if (d == s.day) {
+          live = true;
+          break;
+        }
+      }
+    }
+    if (!live) ++dead;
+  }
+  if (referring > 0) out.dead_on_arrival = static_cast<double>(dead) / referring;
+
+  // Attack-issuing C2s live visibly longer (§5).
+  std::set<std::string> attackers;
+  for (const auto& dr : results.d_ddos) attackers.insert(dr.c2_address);
+  util::Cdf attacker_spans;
+  for (const auto& addr : attackers) {
+    const auto it = results.d_c2s.find(addr);
+    if (it != results.d_c2s.end() && it->second.ever_live()) {
+      attacker_spans.add(static_cast<double>(it->second.observed_lifespan_days()));
+    }
+  }
+  if (!attacker_spans.empty()) out.attacker_mean_days = attacker_spans.mean();
+  return out;
+}
+
+TiStats ti_stats(const core::StudyResults& results) {
+  TiStats out;
+  int all = 0, all_miss = 0, all_requery_miss = 0;
+  int ip = 0, ip_miss = 0, ip_requery_miss = 0;
+  int dns = 0, dns_miss = 0, dns_requery_miss = 0;
+  for (const auto& [addr, rec] : results.d_c2s) {
+    // Our classifier's precision is effectively perfect in simulation, so
+    // every record counts (the paper additionally cross-validated; see
+    // DESIGN.md).
+    ++all;
+    if (!rec.vt_malicious_same_day) ++all_miss;
+    if (!rec.vt_malicious_requery) ++all_requery_miss;
+    if (rec.is_dns) {
+      ++dns;
+      if (!rec.vt_malicious_same_day) ++dns_miss;
+      if (!rec.vt_malicious_requery) ++dns_requery_miss;
+    } else {
+      ++ip;
+      if (!rec.vt_malicious_same_day) ++ip_miss;
+      if (!rec.vt_malicious_requery) ++ip_requery_miss;
+    }
+    if (rec.vt_vendors_same_day > 0) {
+      out.vendors_per_c2.add(static_cast<double>(rec.vt_vendors_same_day));
+    }
+  }
+  const auto frac = [](int num, int den) {
+    return den > 0 ? static_cast<double>(num) / den : 0.0;
+  };
+  out.miss_all_same_day = frac(all_miss, all);
+  out.miss_ip_same_day = frac(ip_miss, ip);
+  out.miss_dns_same_day = frac(dns_miss, dns);
+  out.miss_all_requery = frac(all_requery_miss, all);
+  out.miss_ip_requery = frac(ip_requery_miss, ip);
+  out.miss_dns_requery = frac(dns_requery_miss, dns);
+  return out;
+}
+
+SharingStats sharing_stats(const core::StudyResults& results) {
+  SharingStats out;
+  int total = 0, multi = 0;
+  for (const auto& [addr, rec] : results.d_c2s) {
+    ++total;
+    if (rec.distinct_samples > 1) ++multi;
+    if (rec.is_dns) {
+      out.samples_per_domain.add(static_cast<double>(rec.distinct_samples));
+    } else {
+      out.samples_per_c2_ip.add(static_cast<double>(rec.distinct_samples));
+    }
+  }
+  if (total > 0) out.multi_sample_fraction = static_cast<double>(multi) / total;
+  return out;
+}
+
+ProbeStats probe_stats(const core::ProbeCampaignResult& pc2, int probes_per_day) {
+  ProbeStats out;
+  out.targets = static_cast<int>(pc2.raster.size());
+  out.rounds = pc2.rounds;
+  std::uint64_t successes_with_next = 0, nonresponses_after = 0;
+  std::uint64_t responsive = 0, total = 0;
+  for (const auto& [ep, bits] : pc2.raster) {
+    for (std::size_t r = 0; r < bits.size(); ++r) {
+      ++total;
+      if (bits[r]) ++responsive;
+      if (r + 1 < bits.size() && bits[r]) {
+        ++successes_with_next;
+        if (!bits[r + 1]) ++nonresponses_after;
+      }
+    }
+    // Whole days where a target answered all probes.
+    for (std::size_t day = 0; (day + 1) * probes_per_day <= bits.size(); ++day) {
+      bool all = true;
+      for (int k = 0; k < probes_per_day; ++k) {
+        all &= bits[day * static_cast<std::size_t>(probes_per_day) +
+                    static_cast<std::size_t>(k)];
+      }
+      if (all) ++out.days_with_all_probes_answered;
+    }
+  }
+  if (successes_with_next > 0) {
+    out.second_probe_nonresponse =
+        static_cast<double>(nonresponses_after) / successes_with_next;
+  }
+  if (total > 0) out.response_rate = static_cast<double>(responsive) / total;
+  return out;
+}
+
+DownloaderStats downloader_stats(const core::StudyResults& results) {
+  DownloaderStats out;
+  out.distinct_downloaders = static_cast<int>(results.downloader_hosts.size());
+  for (const auto& host : results.downloader_hosts) {
+    bool known_c2 = results.d_c2s.count(host) > 0;
+    if (!known_c2) {
+      for (const auto& [addr, rec] : results.d_c2s) {
+        if (net::to_string(rec.ip) == host) {
+          known_c2 = true;
+          break;
+        }
+      }
+    }
+    if (!known_c2) ++out.not_known_c2;
+  }
+  return out;
+}
+
+DdosStats ddos_stats(const core::StudyResults& results, const asdb::AsDatabase& asdb) {
+  DdosStats out;
+  std::set<std::string> c2s, samples;
+  std::set<std::string> types, gaming_types;
+  std::map<net::Ipv4, std::set<std::string>> types_per_target;
+  std::set<std::uint32_t> target_ases, gaming_target_ases;
+  int port80 = 0, port443 = 0;
+
+  for (const auto& dr : results.d_ddos) {
+    ++out.total_attacks;
+    const auto& cmd = dr.detection.command;
+    const std::string type = proto::to_string(cmd.type);
+    const std::string family = proto::to_string(cmd.family);
+    ++out.by_type[type];
+    ++out.by_type_family[{type, family}];
+    ++out.by_protocol[proto::to_string(proto::attack_protocol(cmd.type, cmd.target.port))];
+    types.insert(type);
+    if (proto::is_gaming_attack(cmd.type)) gaming_types.insert(type);
+    c2s.insert(dr.c2_address);
+    samples.insert(dr.sample_sha);
+    ++out.c2_countries[dr.c2_country.empty() ? "??" : dr.c2_country];
+    types_per_target[cmd.target.ip].insert(type);
+    if (cmd.target.port == 80) ++port80;
+    if (cmd.target.port == 443) ++port443;
+    if (const auto* as = asdb.by_ip(cmd.target.ip)) {
+      ++out.target_as_types[asdb::to_string(as->type)];
+      ++out.target_countries[as->country];
+      target_ases.insert(as->asn);
+      if (as->gaming) gaming_target_ases.insert(as->asn);
+    }
+  }
+  out.distinct_c2s = static_cast<int>(c2s.size());
+  out.distinct_samples = static_cast<int>(samples.size());
+  out.attack_types_seen = static_cast<int>(types.size());
+  out.gaming_types_seen = static_cast<int>(gaming_types.size());
+  if (!target_ases.empty()) {
+    out.gaming_as_fraction =
+        static_cast<double>(gaming_target_ases.size()) / target_ases.size();
+  }
+  if (!types_per_target.empty()) {
+    int multi = 0;
+    for (const auto& [ip, t] : types_per_target) {
+      if (t.size() >= 2) ++multi;
+    }
+    out.multi_attack_target_fraction =
+        static_cast<double>(multi) / types_per_target.size();
+  }
+  if (out.total_attacks > 0) {
+    out.port80_fraction = static_cast<double>(port80) / out.total_attacks;
+    out.port443_fraction = static_cast<double>(port443) / out.total_attacks;
+  }
+  return out;
+}
+
+std::map<std::pair<int, std::uint32_t>, int> weekly_as_counts(
+    const core::StudyResults& results) {
+  const auto& week_starts = botnet::active_week_start_days();
+  const auto week_of = [&](std::int64_t day) -> int {
+    for (std::size_t w = 0; w < week_starts.size(); ++w) {
+      if (day >= week_starts[w] && day < week_starts[w] + 7) {
+        return static_cast<int>(w) + 1;
+      }
+    }
+    return 0;  // outside the active weeks
+  };
+  std::map<std::pair<int, std::uint32_t>, int> out;
+  for (const auto& [addr, rec] : results.d_c2s) {
+    const int week = week_of(rec.discovery_day);
+    if (week > 0 && rec.asn != 0) ++out[{week, rec.asn}];
+  }
+  return out;
+}
+
+std::map<std::uint32_t, int> c2s_per_as(const core::StudyResults& results) {
+  std::map<std::uint32_t, int> out;
+  for (const auto& [addr, rec] : results.d_c2s) {
+    if (rec.asn != 0) ++out[rec.asn];
+  }
+  return out;
+}
+
+double weekly_top_as_consistency(const core::StudyResults& results) {
+  const auto weekly = weekly_as_counts(results);
+  const auto per_as = c2s_per_as(results);
+  std::vector<std::pair<std::uint32_t, int>> overall(per_as.begin(), per_as.end());
+  std::sort(overall.begin(), overall.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (overall.size() > 10) overall.resize(10);
+
+  // Per-week top-10 sets.
+  std::map<int, std::vector<std::pair<std::uint32_t, int>>> by_week;
+  int max_week = 0;
+  for (const auto& [key, n] : weekly) {
+    by_week[key.first].emplace_back(key.second, n);
+    max_week = std::max(max_week, key.first);
+  }
+  std::map<int, std::set<std::uint32_t>> week_top;
+  for (auto& [week, entries] : by_week) {
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    for (std::size_t i = 0; i < entries.size() && i < 10; ++i) {
+      week_top[week].insert(entries[i].first);
+    }
+  }
+
+  int consistent = 0;
+  for (const auto& [asn, total] : overall) {
+    int ranked = 0;
+    for (const auto& [week, tops] : week_top) {
+      if (tops.count(asn)) ++ranked;
+    }
+    // "Consistent" = in the weekly top-10 for at least half of all weeks
+    // with data.
+    if (!week_top.empty() &&
+        ranked * 2 >= static_cast<int>(week_top.size())) {
+      ++consistent;
+    }
+  }
+  return overall.empty() ? 0.0 : static_cast<double>(consistent) / overall.size();
+}
+
+}  // namespace malnet::report

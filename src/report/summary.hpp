@@ -1,0 +1,105 @@
+// Derived statistics over the pipeline's datasets — the quantities behind
+// the paper's headline claims. Shared by the table/figure emitters, the
+// test suite and the benches.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asdb/asdb.hpp"
+#include "core/pipeline.hpp"
+#include "util/stats.hpp"
+
+namespace malnet::report {
+
+/// §3.2 lifespan findings.
+struct LifespanStats {
+  util::Cdf ip_lifetimes;      // Figure 2 (days; ever-live IP C2s)
+  util::Cdf domain_lifetimes;  // Figure 3 (days; ever-live DNS C2s)
+  double dead_on_arrival = 0;  // fraction of C2-referring samples whose C2
+                               // was dead on their publication day ("60%")
+  double one_day_fraction = 0; // mass at exactly 1 day ("80%")
+  double mean_days = 0;        // mean observed lifespan ("4 days")
+  double attacker_mean_days = 0;  // attack-issuing C2s ("~10 days")
+};
+
+[[nodiscard]] LifespanStats lifespan_stats(const core::StudyResults& results);
+
+/// §3.3 / Table 3 / Figure 7 threat-intelligence effectiveness.
+struct TiStats {
+  double miss_all_same_day = 0;   // 15.3%
+  double miss_ip_same_day = 0;    // 13.3%
+  double miss_dns_same_day = 0;   // 57.6%
+  double miss_all_requery = 0;    // 3.3%
+  double miss_ip_requery = 0;     // 1.5%
+  double miss_dns_requery = 0;    // 35.0%
+  util::Cdf vendors_per_c2;       // Figure 7 (same-day vendor counts)
+};
+
+[[nodiscard]] TiStats ti_stats(const core::StudyResults& results);
+
+/// Figure 5/6 C2 sharing.
+struct SharingStats {
+  util::Cdf samples_per_c2_ip;
+  util::Cdf samples_per_domain;
+  double multi_sample_fraction = 0;  // C2s contacted by >1 binary ("60%")
+};
+
+[[nodiscard]] SharingStats sharing_stats(const core::StudyResults& results);
+
+/// Figure 4 probe responsiveness.
+struct ProbeStats {
+  int targets = 0;
+  int rounds = 0;
+  double second_probe_nonresponse = 0;  // P(no response at +4h | response) ("91%")
+  int days_with_all_probes_answered = 0;  // paper: zero such days
+  double response_rate = 0;               // overall fraction of responsive probes
+};
+
+[[nodiscard]] ProbeStats probe_stats(const core::ProbeCampaignResult& pc2,
+                                     int probes_per_day = 6);
+
+/// §3.1 downloader/C2 co-hosting.
+struct DownloaderStats {
+  int distinct_downloaders = 0;  // "47 distinct downloader addresses"
+  int not_known_c2 = 0;          // "only 12 ... not identified as C2"
+};
+
+[[nodiscard]] DownloaderStats downloader_stats(const core::StudyResults& results);
+
+/// §5 DDoS aggregates.
+struct DdosStats {
+  int total_attacks = 0;  // "42"
+  std::map<std::string, int> by_type;                       // Figure 11 axis
+  std::map<std::pair<std::string, std::string>, int> by_type_family;  // Fig 11
+  std::map<std::string, int> by_protocol;                   // Figure 10
+  int distinct_c2s = 0;      // "17"
+  int distinct_samples = 0;  // "20"
+  int attack_types_seen = 0; // "8"
+  int gaming_types_seen = 0; // "two types ... targeting gaming servers"
+  std::map<std::string, int> c2_countries;      // USA/NL/CZ dominance
+  std::map<std::string, int> target_as_types;   // Figure 12 (ISP 45% ...)
+  std::map<std::string, int> target_countries;  // Figure 12
+  double gaming_as_fraction = 0;                // "18% of the ASes"
+  double multi_attack_target_fraction = 0;      // "25% ... two attack types"
+  double port80_fraction = 0;                   // "21% of the attacks"
+  double port443_fraction = 0;                  // "7%"
+};
+
+[[nodiscard]] DdosStats ddos_stats(const core::StudyResults& results,
+                                   const asdb::AsDatabase& asdb);
+
+/// Per-(study week, ASN) C2 counts behind Figure 1.
+[[nodiscard]] std::map<std::pair<int, std::uint32_t>, int> weekly_as_counts(
+    const core::StudyResults& results);
+
+/// Distinct ASes hosting C2s and the per-AS counts (Figure 13 / Table 2).
+[[nodiscard]] std::map<std::uint32_t, int> c2s_per_as(const core::StudyResults& results);
+
+/// §3.1: the fraction of the overall top-10 ASes that rank among a week's
+/// top-10 in at least half of the weeks where they host anything
+/// (paper: "60% ... consistently appear as top hosting ASes ... weekly").
+[[nodiscard]] double weekly_top_as_consistency(const core::StudyResults& results);
+
+}  // namespace malnet::report

@@ -1,0 +1,296 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace malnet::sim {
+
+Network::Network(EventScheduler& sched, NetworkConfig cfg)
+    : sched_(sched), cfg_(cfg), rng_(cfg.seed, util::fnv1a64("network")) {
+  if (cfg_.min_latency > cfg_.max_latency) {
+    throw std::invalid_argument("NetworkConfig: min_latency > max_latency");
+  }
+  if (cfg_.loss < 0.0 || cfg_.loss >= 1.0) {
+    throw std::invalid_argument("NetworkConfig: loss out of [0, 1)");
+  }
+}
+
+void Network::attach(Host& h) {
+  const auto [it, inserted] = hosts_.emplace(h.addr(), &h);
+  if (!inserted) {
+    throw std::logic_error("Network::attach: duplicate address " +
+                           net::to_string(h.addr()));
+  }
+}
+
+void Network::detach(Host& h) { hosts_.erase(h.addr()); }
+
+Host* Network::host_at(net::Ipv4 addr) const {
+  const auto it = hosts_.find(addr);
+  return it == hosts_.end() ? nullptr : it->second;
+}
+
+Duration Network::latency(net::Ipv4 a, net::Ipv4 b) const {
+  // Deterministic hash of the ordered pair -> [min, max] latency. Stable
+  // across runs and independent of traffic history.
+  std::uint64_t h = (static_cast<std::uint64_t>(a.value) << 32) | b.value;
+  std::uint64_t s = h;
+  h = util::splitmix64(s);
+  const auto span =
+      static_cast<std::uint64_t>(cfg_.max_latency.us - cfg_.min_latency.us + 1);
+  return Duration{cfg_.min_latency.us + static_cast<std::int64_t>(h % span)};
+}
+
+void Network::transmit(net::Packet p) {
+  p.time = now();
+  ++tx_count_;
+  if (tap_) tap_(p);
+
+  if (cfg_.loss > 0.0 && rng_.chance(cfg_.loss)) {
+    ++loss_count_;
+    return;  // congestion: dropped in flight
+  }
+
+  Host* dst = host_at(p.dst);
+  if (dst == nullptr) return;  // dark address space: the packet vanishes
+
+  const std::uint64_t pair_key =
+      (static_cast<std::uint64_t>(p.src.value) << 32) | p.dst.value;
+  SimTime deliver_at = now() + latency(p.src, p.dst);
+  auto& last = last_delivery_[pair_key];
+  if (deliver_at <= last) deliver_at = last + Duration::micros(1);
+  last = deliver_at;
+
+  const net::Ipv4 dst_addr = p.dst;
+  sched_.at(deliver_at, [this, dst_addr, pkt = std::move(p)]() mutable {
+    // Re-resolve: the host may have detached while the packet was in flight.
+    Host* h = host_at(dst_addr);
+    if (h == nullptr) return;
+    ++rx_count_;
+    h->deliver(pkt);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Host
+
+Host::Host(Network& net, net::Ipv4 addr, std::string name)
+    : net_(net), addr_(addr), name_(std::move(name)) {
+  if (addr.is_unspecified()) throw std::invalid_argument("Host: unspecified address");
+  net_.attach(*this);
+}
+
+Host::~Host() { net_.detach(*this); }
+
+net::Port Host::alloc_ephemeral_port() {
+  for (int attempts = 0; attempts < 16384; ++attempts) {
+    const net::Port p = next_ephemeral_;
+    next_ephemeral_ = (next_ephemeral_ >= 65535) ? 49152 : next_ephemeral_ + 1;
+    // Skip ports with live connection state or bindings.
+    bool used = udp_handlers_.count(p) > 0 || tcp_listeners_.count(p) > 0;
+    if (!used) {
+      const auto lo = conns_.lower_bound({p, net::Endpoint{}});
+      used = lo != conns_.end() && lo->first.first == p;
+    }
+    if (!used) return p;
+  }
+  throw std::runtime_error("Host: ephemeral port space exhausted");
+}
+
+void Host::send_out(net::Packet p) {
+  p.time = net_.now();  // captures get real timestamps even if dropped below
+  if (tap_) tap_(p, /*outbound=*/true);
+  if (filter_ && !filter_(p)) return;  // dropped by containment / rewritten
+  net_.transmit(std::move(p));
+}
+
+void Host::send_raw(net::Packet p) {
+  p.src = addr_;
+  send_out(std::move(p));
+}
+
+// --- TCP --------------------------------------------------------------------
+
+void Host::tcp_listen(net::Port port, AcceptHandler on_accept) {
+  if (!on_accept) throw std::invalid_argument("tcp_listen: null handler");
+  tcp_listeners_[port] = std::move(on_accept);
+}
+
+void Host::tcp_unlisten(net::Port port) { tcp_listeners_.erase(port); }
+
+bool Host::tcp_listening(net::Port port) const { return tcp_listeners_.count(port) > 0; }
+
+void Host::tcp_connect(net::Endpoint remote, ConnectHandler cb, Duration timeout) {
+  if (!cb) throw std::invalid_argument("tcp_connect: null handler");
+  const net::Port local_port = alloc_ephemeral_port();
+  const ConnKey key{local_port, remote};
+  const std::uint32_t iss = net_.rng()();
+  auto conn = std::unique_ptr<TcpConn>(
+      new TcpConn(*this, {addr_, local_port}, remote, /*inbound=*/false, iss));
+  TcpConn* raw = conn.get();
+  conns_.emplace(key, std::move(conn));
+
+  PendingConnect pending;
+  pending.cb = std::move(cb);
+  pending.timeout_event = scheduler().after(
+      timeout, [this, key, w = std::weak_ptr<const bool>(lifetime_)]() {
+    if (w.expired()) return;
+    const auto it = pending_connects_.find(key);
+    if (it == pending_connects_.end()) return;
+    ConnectHandler handler = std::move(it->second.cb);
+    pending_connects_.erase(it);
+    conns_.erase(key);  // abandon the half-open connection silently
+    handler(ConnectOutcome::kTimeout, nullptr);
+  });
+  pending_connects_.emplace(key, std::move(pending));
+
+  raw->emit(net::TcpFlags{.syn = true, .ack = false, .fin = false, .rst = false,
+                          .psh = false});
+}
+
+void Host::close_all_connections() {
+  for (auto& [key, conn] : conns_) {
+    if (conn->established()) conn->close();
+  }
+}
+
+TcpConn* Host::find_conn(const ConnKey& key) {
+  const auto it = conns_.find(key);
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+void Host::schedule_conn_erase(const ConnKey& key) {
+  schedule_safe(Duration::seconds(60), [this, key]() {
+    const auto it = conns_.find(key);
+    if (it != conns_.end() && it->second->state() == TcpConn::State::kClosed) {
+      conns_.erase(it);
+    }
+  });
+}
+
+void Host::handle_tcp(const net::Packet& p) {
+  const ConnKey key{p.dst_port, {p.src, p.src_port}};
+  TcpConn* conn = find_conn(key);
+
+  if (conn == nullptr) {
+    if (p.flags.rst) return;  // RST to nothing: ignore
+    if (p.flags.syn && !p.flags.ack) {
+      const auto lit = tcp_listeners_.find(p.dst_port);
+      if (lit == tcp_listeners_.end()) {
+        // Closed port: refuse with RST.
+        net::Packet rst;
+        rst.src = addr_;
+        rst.dst = p.src;
+        rst.proto = net::Protocol::kTcp;
+        rst.src_port = p.dst_port;
+        rst.dst_port = p.src_port;
+        rst.flags.rst = true;
+        rst.flags.ack = true;
+        rst.ack_num = p.seq + 1;
+        send_out(std::move(rst));
+        return;
+      }
+      // Passive open.
+      const std::uint32_t iss = net_.rng()();
+      auto nc = std::unique_ptr<TcpConn>(new TcpConn(
+          *this, {addr_, p.dst_port}, {p.src, p.src_port}, /*inbound=*/true, iss));
+      TcpConn* raw = nc.get();
+      conns_.emplace(key, std::move(nc));
+      raw->rcv_next_ = p.seq + 1;
+      raw->emit(net::TcpFlags{.syn = true, .ack = true, .fin = false, .rst = false,
+                              .psh = false});
+      return;
+    }
+    return;  // stray non-SYN segment: ignore
+  }
+
+  const TcpConn::State before = conn->state();
+  conn->handle(p);
+  const TcpConn::State after = conn->state();
+
+  if (before == TcpConn::State::kSynSent) {
+    const auto pit = pending_connects_.find(key);
+    if (pit != pending_connects_.end()) {
+      if (after == TcpConn::State::kEstablished) {
+        ConnectHandler handler = std::move(pit->second.cb);
+        scheduler().cancel(pit->second.timeout_event);
+        pending_connects_.erase(pit);
+        handler(ConnectOutcome::kConnected, conn);
+      } else if (after == TcpConn::State::kClosed) {
+        ConnectHandler handler = std::move(pit->second.cb);
+        scheduler().cancel(pit->second.timeout_event);
+        pending_connects_.erase(pit);
+        handler(ConnectOutcome::kRefused, nullptr);
+      }
+    }
+  } else if (before == TcpConn::State::kSynRcvd &&
+             after == TcpConn::State::kEstablished) {
+    const auto lit = tcp_listeners_.find(p.dst_port);
+    if (lit != tcp_listeners_.end()) {
+      lit->second(*conn);
+    } else {
+      // The service closed between SYN-ACK and the final ACK; refuse the
+      // half-accepted connection so the peer sees a clean RST instead of a
+      // silent, handler-less session.
+      conn->reset();
+    }
+  }
+}
+
+// --- UDP / ICMP ---------------------------------------------------------------
+
+void Host::udp_bind(net::Port port, UdpHandler h) {
+  if (!h) throw std::invalid_argument("udp_bind: null handler");
+  udp_handlers_[port] = std::move(h);
+}
+
+void Host::udp_unbind(net::Port port) { udp_handlers_.erase(port); }
+
+void Host::udp_send(net::Endpoint remote, util::BytesView payload, net::Port src_port) {
+  net::Packet p;
+  p.src = addr_;
+  p.dst = remote.ip;
+  p.proto = net::Protocol::kUdp;
+  p.src_port = src_port == 0 ? alloc_ephemeral_port() : src_port;
+  p.dst_port = remote.port;
+  p.payload.assign(payload.begin(), payload.end());
+  send_out(std::move(p));
+}
+
+void Host::icmp_send(net::Ipv4 dst, std::uint8_t type, std::uint8_t code,
+                     util::BytesView payload) {
+  net::Packet p;
+  p.src = addr_;
+  p.dst = dst;
+  p.proto = net::Protocol::kIcmp;
+  p.icmp = {type, code};
+  p.payload.assign(payload.begin(), payload.end());
+  send_out(std::move(p));
+}
+
+void Host::deliver(net::Packet p) {
+  if (rewriter_) rewriter_(p);
+  if (tap_) tap_(p, /*outbound=*/false);
+  switch (p.proto) {
+    case net::Protocol::kTcp:
+      handle_tcp(p);
+      break;
+    case net::Protocol::kUdp: {
+      const auto it = udp_handlers_.find(p.dst_port);
+      if (it != udp_handlers_.end()) {
+        // Copy before invoking: handlers may unbind themselves (one-shot
+        // transactions like DNS queries or DHT crawls), which would
+        // otherwise destroy the callable mid-execution.
+        const UdpHandler handler = it->second;
+        handler(p);
+      }
+      break;  // unbound UDP port: silently dropped
+    }
+    case net::Protocol::kIcmp:
+      if (icmp_handler_) icmp_handler_(p);
+      break;
+  }
+}
+
+}  // namespace malnet::sim

@@ -1,0 +1,63 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace malnet::sim {
+
+EventId EventScheduler::at(SimTime t, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  queue_.push(Ev{std::max(t, now_), seq_++, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+EventId EventScheduler::after(Duration d, std::function<void()> fn) {
+  return at(now_ + d, std::move(fn));
+}
+
+void EventScheduler::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;
+  if (cancelled_.insert(id).second && live_ > 0) --live_;
+}
+
+void EventScheduler::prune() {
+  while (!queue_.empty()) {
+    const auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+bool EventScheduler::pop_one() {
+  prune();
+  if (queue_.empty()) return false;
+  // const_cast to move the callback out; the element is popped immediately.
+  Ev ev = std::move(const_cast<Ev&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.t;
+  if (live_ > 0) --live_;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::size_t EventScheduler::run(std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && pop_one()) ++n;
+  return n;
+}
+
+std::size_t EventScheduler::run_until(SimTime t) {
+  std::size_t n = 0;
+  prune();
+  while (!queue_.empty() && queue_.top().t <= t) {
+    if (!pop_one()) break;
+    ++n;
+    prune();
+  }
+  now_ = std::max(now_, t);
+  return n;
+}
+
+}  // namespace malnet::sim

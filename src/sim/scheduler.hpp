@@ -1,0 +1,73 @@
+// Discrete-event scheduler: the single source of time for the simulation.
+//
+// Events are (time, sequence, callback) triples in a min-heap. Equal-time
+// events fire in insertion order, which makes every run deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/simtime.hpp"
+
+namespace malnet::sim {
+
+using util::Duration;
+using util::SimTime;
+
+/// Token used to cancel a scheduled event.
+using EventId = std::uint64_t;
+
+class EventScheduler {
+ public:
+  EventScheduler() = default;
+  EventScheduler(const EventScheduler&) = delete;
+  EventScheduler& operator=(const EventScheduler&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (clamped to now if in the past).
+  EventId at(SimTime t, std::function<void()> fn);
+  /// Schedules `fn` after `d` from now.
+  EventId after(Duration d, std::function<void()> fn);
+
+  /// Cancels a pending event. No-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty or `limit` events fired.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Runs all events with time <= t, then advances the clock to exactly t.
+  std::size_t run_until(SimTime t);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t pending() const { return live_; }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Ev {
+    SimTime t;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+    bool operator>(const Ev& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  void prune();    // drops cancelled events from the head of the queue
+  bool pop_one();  // fires the earliest event; false if queue empty
+
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;  // tombstones
+  SimTime now_{0};
+  std::uint64_t seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace malnet::sim

@@ -1,0 +1,119 @@
+#include "sim/tcp.hpp"
+
+#include "sim/network.hpp"
+
+namespace malnet::sim {
+
+std::string to_string(ConnectOutcome o) {
+  switch (o) {
+    case ConnectOutcome::kConnected: return "connected";
+    case ConnectOutcome::kRefused: return "refused";
+    case ConnectOutcome::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+TcpConn::TcpConn(Host& host, net::Endpoint local, net::Endpoint remote, bool inbound,
+                 std::uint32_t iss)
+    : host_(host),
+      local_(local),
+      remote_(remote),
+      inbound_(inbound),
+      state_(inbound ? State::kSynRcvd : State::kSynSent),
+      snd_next_(iss),
+      opened_at_(host.now()) {}
+
+void TcpConn::emit(net::TcpFlags flags, util::BytesView payload) {
+  net::Packet p;
+  p.src = local_.ip;
+  p.dst = remote_.ip;
+  p.proto = net::Protocol::kTcp;
+  p.src_port = local_.port;
+  p.dst_port = remote_.port;
+  p.flags = flags;
+  p.seq = snd_next_;
+  p.ack_num = rcv_next_;
+  p.payload.assign(payload.begin(), payload.end());
+  // SYN and FIN each consume one sequence number; data consumes its length.
+  snd_next_ += static_cast<std::uint32_t>(payload.size());
+  if (flags.syn || flags.fin) ++snd_next_;
+  host_.send_out(std::move(p));
+}
+
+void TcpConn::send(util::BytesView data) {
+  if (state_ != State::kEstablished || data.empty()) return;
+  bytes_tx_ += data.size();
+  emit(net::TcpFlags{.syn = false, .ack = true, .fin = false, .rst = false, .psh = true},
+       data);
+}
+
+void TcpConn::send(std::string_view data) {
+  send(util::BytesView{reinterpret_cast<const std::uint8_t*>(data.data()), data.size()});
+}
+
+void TcpConn::close() {
+  if (state_ == State::kClosed) return;
+  if (state_ == State::kEstablished && !fin_sent_) {
+    fin_sent_ = true;
+    emit(net::TcpFlags{.syn = false, .ack = true, .fin = true, .rst = false, .psh = false});
+  }
+  become_closed(/*notify=*/false);
+}
+
+void TcpConn::reset() {
+  if (state_ == State::kClosed) return;
+  emit(net::TcpFlags{.syn = false, .ack = false, .fin = false, .rst = true, .psh = false});
+  become_closed(/*notify=*/false);
+}
+
+void TcpConn::become_closed(bool notify) {
+  if (state_ == State::kClosed) return;
+  state_ = State::kClosed;
+  if (notify && on_close_) on_close_(*this);
+  host_.schedule_conn_erase({local_.port, remote_});
+}
+
+void TcpConn::handle(const net::Packet& p) {
+  if (p.flags.rst) {
+    become_closed(/*notify=*/true);
+    return;
+  }
+  switch (state_) {
+    case State::kSynSent:
+      if (p.flags.syn && p.flags.ack) {
+        rcv_next_ = p.seq + 1;
+        state_ = State::kEstablished;
+        emit(net::TcpFlags{.syn = false, .ack = true, .fin = false, .rst = false,
+                           .psh = false});
+        // Host resolves the pending-connect callback after we return.
+      }
+      break;
+    case State::kSynRcvd:
+      if (p.flags.ack && !p.flags.syn) {
+        state_ = State::kEstablished;
+        // Fall through to possible piggy-backed data below.
+      }
+      [[fallthrough]];
+    case State::kEstablished:
+      if (!p.payload.empty() && state_ == State::kEstablished) {
+        rcv_next_ = p.seq + static_cast<std::uint32_t>(p.payload.size());
+        bytes_rx_ += p.payload.size();
+        if (on_data_) on_data_(*this, p.payload);
+        if (state_ == State::kClosed) return;  // handler closed us
+      }
+      if (p.flags.fin) {
+        rcv_next_ = p.seq + 1;
+        if (!fin_sent_) {
+          fin_sent_ = true;
+          emit(net::TcpFlags{.syn = false, .ack = true, .fin = true, .rst = false,
+                             .psh = false});
+        }
+        become_closed(/*notify=*/true);
+      }
+      break;
+    case State::kClosed:
+      break;  // late segment after close: ignore
+  }
+}
+
+}  // namespace malnet::sim

@@ -1,0 +1,50 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+#include "util/str.hpp"
+
+namespace malnet::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : width_(header.size()) {
+  if (header.empty()) throw std::invalid_argument("CsvWriter: empty header");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(header[i]);
+  }
+  os_ << '\n';
+}
+
+std::string CsvWriter::escape(std::string_view v) {
+  if (v.find_first_of(",\"\n\r") == std::string_view::npos) return std::string(v);
+  std::string out = "\"";
+  for (char c : v) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter& CsvWriter::field(std::string_view v) {
+  if (in_row_ >= width_) throw std::logic_error("CsvWriter: row too wide");
+  if (in_row_) os_ << ',';
+  os_ << escape(v);
+  ++in_row_;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t v) { return field(std::to_string(v)); }
+CsvWriter& CsvWriter::field(std::int64_t v) { return field(std::to_string(v)); }
+CsvWriter& CsvWriter::field(double v, int digits) { return field(fixed(v, digits)); }
+
+void CsvWriter::end_row() {
+  if (in_row_ != width_) throw std::logic_error("CsvWriter: row width mismatch");
+  os_ << '\n';
+  in_row_ = 0;
+  ++rows_;
+}
+
+std::string CsvWriter::str() const { return os_.str(); }
+
+}  // namespace malnet::util

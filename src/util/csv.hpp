@@ -1,0 +1,37 @@
+// Minimal CSV emitter for exporting dataset rows (D-C2s, D-Exploits, …) so
+// downstream tooling can re-plot the figures.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace malnet::util {
+
+/// Builds an RFC-4180-ish CSV document in memory. Fields containing commas,
+/// quotes or newlines are quoted; embedded quotes are doubled.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  CsvWriter& field(std::string_view v);
+  CsvWriter& field(std::uint64_t v);
+  CsvWriter& field(std::int64_t v);
+  CsvWriter& field(double v, int digits = 4);
+  /// Ends the current row; throws std::logic_error if the field count does
+  /// not match the header width.
+  void end_row();
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+
+ private:
+  static std::string escape(std::string_view v);
+  std::size_t width_;
+  std::size_t in_row_ = 0;
+  std::size_t rows_ = 0;
+  std::ostringstream os_;
+};
+
+}  // namespace malnet::util

@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace malnet::util {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+const char* name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < g_level) return;
+  std::cerr << '[' << name(level) << "] " << component << ": " << message << '\n';
+}
+
+LogStream::~LogStream() { log_line(level_, component_, os_.str()); }
+
+}  // namespace malnet::util

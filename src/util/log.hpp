@@ -1,0 +1,37 @@
+// Leveled logging. Off by default so tests and benches stay quiet; examples
+// turn it on to narrate the pipeline.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace malnet::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold. Messages below the threshold are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr: "[level] component: message".
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+/// Stream-style convenience: LOGF(kInfo, "sandbox") << "activated " << id;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogStream();
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+
+}  // namespace malnet::util

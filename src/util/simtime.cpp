@@ -1,0 +1,101 @@
+#include "util/simtime.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace malnet::util {
+
+std::string to_string(SimTime t) {
+  const std::int64_t day = t.day();
+  std::int64_t rem = t.us - day * Duration::days(1).us;
+  const std::int64_t h = rem / Duration::hours(1).us;
+  rem -= h * Duration::hours(1).us;
+  const std::int64_t m = rem / Duration::minutes(1).us;
+  rem -= m * Duration::minutes(1).us;
+  const std::int64_t s = rem / Duration::seconds(1).us;
+  std::ostringstream os;
+  os << 'd' << day << ' ';
+  os.fill('0');
+  os.width(2);
+  os << h << ':';
+  os.width(2);
+  os << m << ':';
+  os.width(2);
+  os << s;
+  return os.str();
+}
+
+std::string to_string(Duration d) {
+  std::ostringstream os;
+  if (d.us < 0) {
+    os << '-';
+    d.us = -d.us;
+  }
+  if (d.us >= Duration::days(1).us) {
+    os << d.us / Duration::days(1).us << "d"
+       << (d.us % Duration::days(1).us) / Duration::hours(1).us << "h";
+  } else if (d.us >= Duration::hours(1).us) {
+    os << d.us / Duration::hours(1).us << "h"
+       << (d.us % Duration::hours(1).us) / Duration::minutes(1).us << "m";
+  } else if (d.us >= Duration::seconds(1).us) {
+    os << d.us / Duration::seconds(1).us << "s";
+  } else {
+    os << d.us << "us";
+  }
+  return os.str();
+}
+
+namespace {
+// Days per month for 2021..2023, enough to label a 1-year study starting
+// 2021-03-29 plus slack.
+constexpr std::array<int, 12> kDays2021{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+constexpr std::array<int, 12> kDays2022{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+}  // namespace
+
+std::string study_date(std::int64_t day_index) {
+  int year = 2021, month = 3, day = 29;  // epoch: 2021-03-29
+  std::int64_t remaining = day_index;
+  while (remaining > 0) {
+    const auto& table = (year == 2021) ? kDays2021 : kDays2022;
+    const int dim = table[static_cast<std::size_t>(month - 1)];
+    const std::int64_t left_in_month = dim - day;
+    if (remaining <= left_in_month) {
+      day += static_cast<int>(remaining);
+      remaining = 0;
+    } else {
+      remaining -= left_in_month + 1;
+      day = 1;
+      if (++month > 12) {
+        month = 1;
+        ++year;
+      }
+    }
+  }
+  std::ostringstream os;
+  os << year << '-';
+  os.fill('0');
+  os.width(2);
+  os << month << '-';
+  os.width(2);
+  os << day;
+  return os.str();
+}
+
+namespace {
+// Howard Hinnant's days_from_civil: serial day count from 1970-01-01.
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<unsigned>(y - era * 400);
+  const auto doy = static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+}  // namespace
+
+std::int64_t civil_to_study_day(int year, int month, int day) {
+  static const std::int64_t kEpoch = days_from_civil(2021, 3, 29);
+  return days_from_civil(year, month, day) - kEpoch;
+}
+
+}  // namespace malnet::util

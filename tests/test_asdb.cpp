@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "asdb/asdb.hpp"
+
+using namespace malnet;
+using namespace malnet::asdb;
+
+TEST(AsDatabase, StandardContainsTable2) {
+  const auto db = AsDatabase::standard();
+  for (const auto asn : AsDatabase::table2_asns()) {
+    const auto* info = db.by_asn(asn);
+    ASSERT_NE(info, nullptr) << "missing Table 2 ASN " << asn;
+  }
+  // Spot-check Table 2 metadata.
+  EXPECT_EQ(db.by_asn(36352)->name, "ColoCrossing");
+  EXPECT_EQ(db.by_asn(36352)->country, "US");
+  EXPECT_TRUE(db.by_asn(36352)->anti_ddos);
+  EXPECT_EQ(db.by_asn(16276)->name, "OVH SAS");
+  EXPECT_EQ(db.by_asn(16276)->country, "FR");
+  EXPECT_FALSE(db.by_asn(139884)->anti_ddos);  // Apeiron Global: "No"
+  EXPECT_FALSE(db.by_asn(211252)->anti_ddos);  // Delis LLC: N/A -> false
+}
+
+TEST(AsDatabase, StandardSizeCoversFig13Population) {
+  const auto db = AsDatabase::standard();
+  EXPECT_GE(db.size(), 128u);  // Figure 13: 128 ASes host C2s
+}
+
+TEST(AsDatabase, CryptoPaymentProviders) {
+  // §3.1: "30% of these providers (AS53667, AS202306 and AS44812) accept
+  // cryptocurrency payments".
+  const auto db = AsDatabase::standard();
+  int crypto = 0;
+  for (const auto asn : AsDatabase::table2_asns()) {
+    if (db.by_asn(asn)->crypto_pay) ++crypto;
+  }
+  EXPECT_EQ(crypto, 3);
+  EXPECT_TRUE(db.by_asn(53667)->crypto_pay);
+  EXPECT_TRUE(db.by_asn(202306)->crypto_pay);
+  EXPECT_TRUE(db.by_asn(44812)->crypto_pay);
+}
+
+TEST(AsDatabase, Top100CloudsPresent) {
+  // Appendix A: Google, Amazon and Alibaba are among the top-100 ASes.
+  const auto db = AsDatabase::standard();
+  for (const std::uint32_t asn : {15169u, 16509u, 37963u}) {
+    const auto* info = db.by_asn(asn);
+    ASSERT_NE(info, nullptr);
+    EXPECT_TRUE(info->top100_size);
+  }
+  // None of the top-10 C2 hosters are top-100 (§3.1).
+  for (const auto asn : AsDatabase::table2_asns()) {
+    EXPECT_FALSE(db.by_asn(asn)->top100_size);
+  }
+}
+
+TEST(AsDatabase, VictimPopulationShape) {
+  const auto db = AsDatabase::standard();
+  int gaming = 0;
+  bool has_roblox = false, has_nfo = false;
+  for (const auto& as : db.all()) {
+    if (as.gaming) ++gaming;
+    if (as.name == "Roblox") has_roblox = true;
+    if (as.name == "NFOservers") has_nfo = true;
+  }
+  EXPECT_GE(gaming, 4);  // §5.3: gaming-specialised AS population
+  EXPECT_TRUE(has_roblox);
+  EXPECT_TRUE(has_nfo);
+}
+
+TEST(AsDatabase, IpLookupMatchesAsn) {
+  const auto db = AsDatabase::standard();
+  util::Rng rng(1);
+  for (const auto asn : AsDatabase::table2_asns()) {
+    for (int i = 0; i < 5; ++i) {
+      const auto ip = db.random_ip_in(asn, rng);
+      const auto* info = db.by_ip(ip);
+      ASSERT_NE(info, nullptr);
+      EXPECT_EQ(info->asn, asn);
+    }
+  }
+}
+
+TEST(AsDatabase, UnknownLookups) {
+  const auto db = AsDatabase::standard();
+  EXPECT_EQ(db.by_asn(424242), nullptr);
+  EXPECT_EQ(db.by_ip(net::Ipv4{192, 0, 2, 1}), nullptr);
+  util::Rng rng(1);
+  EXPECT_THROW((void)db.random_ip_in(424242, rng), std::invalid_argument);
+}
+
+TEST(AsDatabase, RejectsOverlapsAndDuplicates) {
+  AsDatabase db;
+  AsInfo a;
+  a.asn = 1;
+  a.name = "A";
+  a.prefixes = {net::Subnet{net::Ipv4{10, 0, 0, 0}, 16}};
+  db.add(a);
+
+  AsInfo dup = a;
+  dup.prefixes = {net::Subnet{net::Ipv4{11, 0, 0, 0}, 16}};
+  EXPECT_THROW(db.add(dup), std::invalid_argument);  // duplicate ASN
+
+  AsInfo overlap;
+  overlap.asn = 2;
+  overlap.name = "B";
+  overlap.prefixes = {net::Subnet{net::Ipv4{10, 0, 128, 0}, 24}};  // inside A
+  EXPECT_THROW(db.add(overlap), std::invalid_argument);
+
+  AsInfo empty;
+  empty.asn = 3;
+  EXPECT_THROW(db.add(empty), std::invalid_argument);
+}
+
+TEST(AsDatabase, RandomIpAvoidsNetworkAndBroadcast) {
+  const auto db = AsDatabase::standard();
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const auto ip = db.random_ip_in(36352, rng);
+    const auto* info = db.by_ip(ip);
+    ASSERT_NE(info, nullptr);
+    bool is_boundary = false;
+    for (const auto& p : info->prefixes) {
+      if (ip == p.host(0) || ip == p.host(p.size() - 1)) is_boundary = true;
+    }
+    EXPECT_FALSE(is_boundary);
+  }
+}

@@ -1,0 +1,330 @@
+// Extension features beyond the paper's evaluation: actionable-rule export
+// (§1 "Potential Impact"), multi-architecture sandbox gating (§6d) and the
+// P2P overlay crawler (the natural follow-up to §2.3a's P2P filter).
+#include <gtest/gtest.h>
+
+#include "botnet/p2p_overlay.hpp"
+#include "core/p2p_crawl.hpp"
+#include "core/pipeline.hpp"
+#include "emu/attackgen.hpp"
+#include "emu/sandbox.hpp"
+#include "mal/binary.hpp"
+#include "proto/p2p.hpp"
+#include "report/rules_export.hpp"
+
+using namespace malnet;
+
+// --- rules export ---------------------------------------------------------------
+
+namespace {
+core::StudyResults study_with_iocs() {
+  core::StudyResults r;
+  core::C2Record live;
+  live.address = "60.1.1.1";
+  live.ip = *net::parse_ipv4("60.1.1.1");
+  live.port = 23;
+  live.live_days = {3};
+  live.discovery_day = 3;
+  live.is_downloader = true;
+  r.d_c2s[live.address] = live;
+
+  core::C2Record dns;
+  dns.address = "cnc.bot-net1.com";
+  dns.is_dns = true;
+  dns.ip = *net::parse_ipv4("60.2.2.2");
+  dns.port = 666;
+  dns.vt_malicious_requery = true;
+  dns.discovery_day = 7;
+  r.d_c2s[dns.address] = dns;
+
+  core::C2Record unverified;
+  unverified.address = "60.3.3.3";
+  unverified.ip = *net::parse_ipv4("60.3.3.3");
+  unverified.discovery_day = 9;  // never live, never re-query confirmed
+  r.d_c2s[unverified.address] = unverified;
+
+  r.downloader_hosts = {"60.1.1.1", "60.9.9.9"};
+
+  core::ExploitRecord er;
+  er.sample_sha = "aa";
+  er.vuln = vulndb::VulnId::kGpon10561;
+  r.d_exploits.push_back(er);
+  return r;
+}
+}  // namespace
+
+TEST(RulesExport, BlocklistRespectsVerificationGate) {
+  const auto r = study_with_iocs();
+  const auto iocs = report::build_blocklist(r);
+  std::set<std::string> addrs;
+  for (const auto& ioc : iocs) addrs.insert(ioc.address);
+  EXPECT_TRUE(addrs.count("60.1.1.1"));           // live
+  EXPECT_TRUE(addrs.count("cnc.bot-net1.com"));   // re-query confirmed
+  EXPECT_FALSE(addrs.count("60.3.3.3"));          // unverified: excluded
+  EXPECT_TRUE(addrs.count("60.9.9.9"));           // dedicated downloader
+
+  report::RuleExportOptions open_opts;
+  open_opts.require_live_or_requery = false;
+  const auto all = report::build_blocklist(r, open_opts);
+  EXPECT_GT(all.size(), iocs.size());
+}
+
+TEST(RulesExport, GeneratedSnortRulesParseWithOwnEngine) {
+  const auto r = study_with_iocs();
+  const auto set = report::compile_exported_rules(r);  // throws on failure
+  EXPECT_GE(set.size(), 4u);  // 3 IoCs + 1 exploit signature
+
+  // The C2 drop rule must actually drop traffic to that C2...
+  net::Packet to_c2;
+  to_c2.src = *net::parse_ipv4("192.168.1.50");
+  to_c2.dst = *net::parse_ipv4("60.1.1.1");
+  to_c2.proto = net::Protocol::kTcp;
+  to_c2.dst_port = 23;
+  EXPECT_TRUE(set.evaluate(to_c2).drop);
+  // ...and not traffic to unrelated hosts.
+  to_c2.dst = *net::parse_ipv4("8.8.8.8");
+  EXPECT_FALSE(set.evaluate(to_c2).drop);
+}
+
+TEST(RulesExport, ExploitSignatureRulesMatchRealPayloads) {
+  const auto r = study_with_iocs();
+  const auto set = report::compile_exported_rules(r);
+  const auto& vdb = vulndb::VulnDatabase::instance();
+
+  net::Packet exploit;
+  exploit.src = *net::parse_ipv4("192.168.1.50");
+  exploit.dst = *net::parse_ipv4("198.51.100.2");
+  exploit.proto = net::Protocol::kTcp;
+  exploit.dst_port = vdb.by_id(vulndb::VulnId::kGpon10561).port;
+  exploit.payload = util::to_bytes(
+      vdb.render_exploit(vulndb::VulnId::kGpon10561, "60.9.9.9", "t8UsA2.sh"));
+  const auto ev = set.evaluate(exploit);
+  bool exploit_alert = false;
+  for (const auto* rule : ev.matched) exploit_alert |= rule->sid >= 2000000;
+  EXPECT_TRUE(exploit_alert) << "generated signature must match the exploit";
+}
+
+TEST(RulesExport, IptablesAndPlainFormats) {
+  const auto r = study_with_iocs();
+  const auto ipt = report::export_iptables(r);
+  EXPECT_NE(ipt.find("-A FORWARD -d 60.1.1.1 -j DROP"), std::string::npos);
+  EXPECT_NE(ipt.find("COMMIT"), std::string::npos);
+  EXPECT_NE(ipt.find("cnc.bot-net1.com"), std::string::npos);  // RPZ comment
+
+  const auto plain = report::export_plain_blocklist(r);
+  EXPECT_NE(plain.find("60.1.1.1\n"), std::string::npos);
+  EXPECT_EQ(plain.find("60.3.3.3"), std::string::npos);
+}
+
+TEST(RulesExport, PipelineOutputCompilesCleanly) {
+  core::PipelineConfig cfg;
+  cfg.seed = 9;
+  cfg.world.total_samples = 120;
+  cfg.run_probe_campaign = false;
+  core::Pipeline pipeline(cfg);
+  const auto results = pipeline.run();
+  const auto set = report::compile_exported_rules(results);
+  EXPECT_GT(set.size(), 20u);
+}
+
+// --- multi-architecture gating -----------------------------------------------
+
+TEST(MultiArch, SandboxRejectsUnsupportedArch) {
+  sim::EventScheduler sched;
+  sim::Network net(sched);
+  emu::Sandbox sandbox(net);  // MIPS-32 only by default
+
+  mal::MbfBinary bin;
+  bin.arch = mal::Arch::kArm32;
+  bin.behavior.family = proto::Family::kMirai;
+  bin.behavior.c2_ip = net::Ipv4{60, 1, 1, 1};
+  util::Rng rng(1);
+  emu::SandboxReport report;
+  bool done = false;
+  sandbox.start(mal::forge(bin, rng), {}, [&](const emu::SandboxReport& r) {
+    report = r;
+    done = true;
+  });
+  sched.run_until(sched.now() + sim::Duration::minutes(1));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(report.parsed);
+  EXPECT_TRUE(report.unsupported_arch);
+  EXPECT_FALSE(report.activated);
+}
+
+TEST(MultiArch, ExtendedSandboxRunsArm) {
+  sim::EventScheduler sched;
+  sim::Network net(sched);
+  emu::SandboxConfig cfg;
+  cfg.supported_archs = {mal::Arch::kMips32, mal::Arch::kArm32};  // §6d scale-up
+  emu::Sandbox sandbox(net, cfg);
+
+  mal::MbfBinary bin;
+  bin.arch = mal::Arch::kArm32;
+  bin.behavior.family = proto::Family::kMirai;
+  bin.behavior.c2_ip = net::Ipv4{60, 1, 1, 1};
+  bin.behavior.c2_port = 23;
+  util::Rng rng(2);
+  emu::SandboxReport report;
+  sandbox.start(mal::forge(bin, rng), {}, [&](const emu::SandboxReport& r) { report = r; });
+  sched.run_until(sched.now() + sim::Duration::minutes(12));
+  EXPECT_FALSE(report.unsupported_arch);
+  EXPECT_TRUE(report.activated);
+}
+
+// --- P2P overlay + crawler -------------------------------------------------------
+
+TEST(P2pOverlay, NodesAnswerPingAndPeerExchange) {
+  sim::EventScheduler sched;
+  sim::Network net(sched);
+  botnet::OverlayConfig cfg;
+  cfg.node_count = 8;
+  cfg.availability = 1.0;
+  auto overlay = botnet::build_overlay(net, cfg);
+  ASSERT_EQ(overlay.nodes.size(), 8u);
+  ASSERT_FALSE(overlay.bootstrap.empty());
+
+  sim::Host probe(net, net::Ipv4{192, 0, 2, 77});
+  std::vector<net::Endpoint> got;
+  const net::Port local = 40000;
+  probe.udp_bind(local, [&](const net::Packet& p) {
+    if (const auto reply = proto::p2p::decode_peers_reply(p.payload)) {
+      got = reply->peers;
+    }
+  });
+  probe.udp_send(overlay.nodes[0]->endpoint(),
+                 proto::p2p::encode_get_peers({std::string(20, 'C'), "q1"}), local);
+  sched.run();
+  ASSERT_FALSE(got.empty());
+  EXPECT_EQ(got.front(), overlay.nodes[1]->endpoint());  // ring successor
+}
+
+TEST(P2pCrawl, EnumeratesTheWholeOverlay) {
+  sim::EventScheduler sched;
+  sim::Network net(sched);
+  botnet::OverlayConfig cfg;
+  cfg.node_count = 40;
+  cfg.availability = 1.0;
+  auto overlay = botnet::build_overlay(net, cfg);
+
+  sim::Host crawler_host(net, net::Ipv4{192, 0, 2, 88});
+  core::CrawlResult result;
+  bool done = false;
+  core::P2pCrawler crawler(crawler_host, overlay.bootstrap, {},
+                           [&](core::CrawlResult r) {
+                             result = std::move(r);
+                             done = true;
+                           });
+  crawler.start();
+  sched.run_until(sched.now() + sim::Duration::minutes(30));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.discovered.size(), 40u) << "ring wiring guarantees full coverage";
+  EXPECT_EQ(result.responsive.size(), 40u);
+  EXPECT_GE(result.queries_sent, 40u);
+}
+
+TEST(P2pCrawl, ChurnReducesResponsiveButRetriesRecoverCoverage) {
+  sim::EventScheduler sched;
+  sim::Network net(sched);
+  botnet::OverlayConfig cfg;
+  cfg.node_count = 40;
+  cfg.availability = 0.6;  // churny overlay
+  auto overlay = botnet::build_overlay(net, cfg);
+
+  sim::Host crawler_host(net, net::Ipv4{192, 0, 2, 88});
+  core::CrawlConfig ccfg;
+  ccfg.retries_per_peer = 3;
+  core::CrawlResult result;
+  bool done = false;
+  core::P2pCrawler crawler(crawler_host, overlay.bootstrap, ccfg,
+                           [&](core::CrawlResult r) {
+                             result = std::move(r);
+                             done = true;
+                           });
+  crawler.start();
+  sched.run_until(sched.now() + sim::Duration::hours(2));
+  ASSERT_TRUE(done);
+  EXPECT_GT(result.discovered.size(), 25u);  // most of the 40 despite churn
+  EXPECT_LE(result.responsive.size(), result.discovered.size());
+}
+
+TEST(P2pCrawl, RespectsDiscoveryCap) {
+  sim::EventScheduler sched;
+  sim::Network net(sched);
+  botnet::OverlayConfig cfg;
+  cfg.node_count = 30;
+  cfg.availability = 1.0;
+  auto overlay = botnet::build_overlay(net, cfg);
+
+  sim::Host crawler_host(net, net::Ipv4{192, 0, 2, 88});
+  core::CrawlConfig ccfg;
+  ccfg.max_peers = 10;
+  core::CrawlResult result;
+  bool done = false;
+  core::P2pCrawler crawler(crawler_host, overlay.bootstrap, ccfg,
+                           [&](core::CrawlResult r) {
+                             result = std::move(r);
+                             done = true;
+                           });
+  crawler.start();
+  sched.run_until(sched.now() + sim::Duration::minutes(30));
+  ASSERT_TRUE(done);
+  EXPECT_LE(result.discovered.size(), 10u);  // hard cap
+}
+
+TEST(P2pProto, GetPeersRoundTrip) {
+  const proto::p2p::GetPeers q{std::string(20, 'A'), "tx"};
+  const auto decoded = proto::p2p::decode_get_peers(proto::p2p::encode_get_peers(q));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->node_id, q.node_id);
+  EXPECT_EQ(decoded->txn, "tx");
+  // A plain ping must NOT decode as get_peers and vice versa.
+  const auto ping = proto::p2p::encode_ping({std::string(20, 'A'), "tx"});
+  EXPECT_FALSE(proto::p2p::decode_get_peers(ping));
+  EXPECT_FALSE(proto::p2p::decode_ping(proto::p2p::encode_get_peers(q)));
+}
+
+TEST(P2pProto, PeersReplyRoundTrip) {
+  proto::p2p::PeersReply reply;
+  reply.node_id = std::string(20, 'B');
+  reply.txn = "zz";
+  reply.peers = {{net::Ipv4{1, 2, 3, 4}, 6881}, {net::Ipv4{250, 9, 0, 255}, 65535}};
+  const auto decoded =
+      proto::p2p::decode_peers_reply(proto::p2p::encode_peers_reply(reply));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->peers, reply.peers);
+  EXPECT_EQ(decoded->txn, "zz");
+  EXPECT_FALSE(proto::p2p::decode_peers_reply(util::to_bytes("junk")));
+}
+
+TEST(RulesExport, AttackParticipationSignatures) {
+  auto r = study_with_iocs();
+  core::DdosRecord nurse;
+  nurse.c2_address = "60.1.1.1";
+  nurse.detection.command.type = proto::AttackType::kBlacknurse;
+  nurse.detection.command.family = proto::Family::kDaddyl33t;
+  r.d_ddos.push_back(nurse);
+  core::DdosRecord vse = nurse;
+  vse.detection.command.type = proto::AttackType::kVse;
+  r.d_ddos.push_back(vse);
+
+  const auto set = report::compile_exported_rules(r);
+  net::Packet flood;
+  flood.src = *net::parse_ipv4("192.168.1.9");
+  flood.dst = *net::parse_ipv4("198.51.100.1");
+  flood.proto = net::Protocol::kIcmp;
+  flood.icmp = {3, 3};
+  bool hit = false;
+  for (const auto* rule : set.evaluate(flood).matched) hit |= rule->sid >= 3000000;
+  EXPECT_TRUE(hit) << "BLACKNURSE participation must alert";
+
+  net::Packet vse_pkt;
+  vse_pkt.src = flood.src;
+  vse_pkt.dst = flood.dst;
+  vse_pkt.proto = net::Protocol::kUdp;
+  vse_pkt.dst_port = 27015;
+  vse_pkt.payload = emu::vse_payload();
+  hit = false;
+  for (const auto* rule : set.evaluate(vse_pkt).matched) hit |= rule->sid >= 3000000;
+  EXPECT_TRUE(hit) << "VSE participation must alert";
+}

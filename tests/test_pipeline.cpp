@@ -1,0 +1,195 @@
+// End-to-end pipeline tests on a scaled-down study, cross-validated against
+// the world's ground truth.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pipeline.hpp"
+#include "report/claims.hpp"
+#include "report/summary.hpp"
+
+using namespace malnet;
+using namespace malnet::core;
+
+namespace {
+Pipeline* g_pipeline = nullptr;
+
+// One shared scaled-down run (the full pipeline is exercised by the
+// benches; tests keep the world small for speed).
+const StudyResults& results() {
+  static const StudyResults kResults = [] {
+    PipelineConfig cfg;
+    cfg.seed = 22;
+    cfg.world.total_samples = 300;
+    cfg.probe_rounds = 24;  // four days of probing
+    static Pipeline pipeline(cfg);
+    g_pipeline = &pipeline;
+    return pipeline.run();
+  }();
+  return kResults;
+}
+
+const Pipeline& pipeline() {
+  (void)results();
+  return *g_pipeline;
+}
+}  // namespace
+
+TEST(PipelineE2E, AllSamplesAnalysed) {
+  EXPECT_EQ(results().d_samples.size(), 300u);
+  EXPECT_GT(results().non_mips_skipped, 0u)
+      << "the feed's ARM/x86 noise must be discarded at the gate (§2.2)";
+  int activated = 0;
+  for (const auto& s : results().d_samples) activated += s.activated ? 1 : 0;
+  // §6f: activation rate ~90%.
+  EXPECT_GT(activated, 240);
+}
+
+TEST(PipelineE2E, P2pSamplesAreFilteredFromC2Study) {
+  for (const auto& s : results().d_samples) {
+    if (!s.p2p) continue;
+    EXPECT_TRUE(s.c2_addresses.empty())
+        << "P2P samples must not contribute C2 addresses (§2.3a)";
+  }
+}
+
+TEST(PipelineE2E, EveryDetectedC2ExistsInThePlan) {
+  // Precision check: the C2 classifier should not invent addresses.
+  for (const auto& [addr, rec] : results().d_c2s) {
+    const auto* plan = pipeline().world().find_c2(addr);
+    ASSERT_NE(plan, nullptr) << "detected unknown C2 " << addr;
+    EXPECT_EQ(rec.port, plan->cfg.port);
+  }
+}
+
+TEST(PipelineE2E, LiveObservationsMatchGroundTruthLifecycles) {
+  for (const auto& [addr, rec] : results().d_c2s) {
+    for (const auto day : rec.live_days) {
+      EXPECT_TRUE(pipeline().world().c2_alive_on(addr, day))
+          << addr << " observed live on day " << day << " but was dead";
+    }
+  }
+}
+
+TEST(PipelineE2E, DetectedDdosCommandsMatchIssuedOnes) {
+  // Every detection must correspond to a command some C2 actually issued.
+  const auto& issued = pipeline().world().all_issued();
+  EXPECT_EQ(results().d_ddos.size(), issued.size())
+      << "eavesdropping should capture exactly the issued commands";
+  for (const auto& dr : results().d_ddos) {
+    bool found = false;
+    for (const auto& ic : issued) {
+      found |= ic.command.type == dr.detection.command.type &&
+               ic.command.target == dr.detection.command.target;
+    }
+    EXPECT_TRUE(found) << "unmatched detection " << dr.detection.command.summary();
+  }
+}
+
+TEST(PipelineE2E, DdosRecordsAreVerifiedAndAttributed) {
+  for (const auto& dr : results().d_ddos) {
+    EXPECT_TRUE(dr.detection.verified);
+    EXPECT_FALSE(dr.c2_address.empty());
+    EXPECT_NE(dr.c2_asn, 0u);
+    const auto* plan = pipeline().world().find_c2(dr.c2_address);
+    ASSERT_NE(plan, nullptr);
+    EXPECT_TRUE(plan->attacker);
+  }
+}
+
+TEST(PipelineE2E, ExploitRecordsCarryDownloaderIntel) {
+  ASSERT_FALSE(results().d_exploits.empty());
+  for (const auto& er : results().d_exploits) {
+    EXPECT_FALSE(er.downloader_host.empty());
+    EXPECT_FALSE(er.loader_name.empty());
+    EXPECT_TRUE(net::parse_ipv4(er.downloader_host));
+  }
+  EXPECT_FALSE(results().downloader_hosts.empty());
+}
+
+TEST(PipelineE2E, ProbeCampaignRanAndFoundServers) {
+  EXPECT_EQ(results().d_pc2.rounds, 24);
+  EXPECT_GE(results().d_pc2.raster.size(), 3u);  // most of the 7 C2s
+  EXPECT_GT(results().d_pc2.banner_filtered, 0u);
+}
+
+TEST(PipelineE2E, TiSameDayMissesAreRequeryRecoverable) {
+  // §3.3: misses are mostly timeliness — the re-query recovers most.
+  const auto ti = report::ti_stats(results());
+  EXPECT_GT(ti.miss_all_same_day, ti.miss_all_requery);
+}
+
+TEST(PipelineE2E, C2RecordsInternallyConsistent) {
+  for (const auto& [addr, rec] : results().d_c2s) {
+    EXPECT_EQ(rec.address, addr);
+    EXPECT_GE(rec.discovery_day, 0);
+    ASSERT_FALSE(rec.referred_days.empty());
+    EXPECT_EQ(rec.referred_days.front(), rec.discovery_day);
+    for (std::size_t i = 1; i < rec.referred_days.size(); ++i) {
+      EXPECT_GT(rec.referred_days[i], rec.referred_days[i - 1]);
+    }
+    // Live days are a subset of referred days.
+    for (const auto d : rec.live_days) {
+      EXPECT_NE(std::find(rec.referred_days.begin(), rec.referred_days.end(), d),
+                rec.referred_days.end());
+    }
+    EXPECT_GE(rec.distinct_samples, 1);
+    if (rec.ever_live()) {
+      EXPECT_GE(rec.observed_lifespan_days(), 1);
+    }
+  }
+}
+
+TEST(PipelineE2E, Determinism) {
+  PipelineConfig cfg;
+  cfg.seed = 22;
+  cfg.world.total_samples = 60;
+  cfg.run_probe_campaign = false;
+  Pipeline a(cfg), b(cfg);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.d_samples.size(), rb.d_samples.size());
+  EXPECT_EQ(ra.d_c2s.size(), rb.d_c2s.size());
+  EXPECT_EQ(ra.d_exploits.size(), rb.d_exploits.size());
+  EXPECT_EQ(ra.d_ddos.size(), rb.d_ddos.size());
+  EXPECT_EQ(ra.sim_events, rb.sim_events);
+  auto ita = ra.d_c2s.begin();
+  auto itb = rb.d_c2s.begin();
+  for (; ita != ra.d_c2s.end(); ++ita, ++itb) {
+    EXPECT_EQ(ita->first, itb->first);
+    EXPECT_EQ(ita->second.live_days, itb->second.live_days);
+  }
+}
+
+TEST(PipelineE2E, SeedChangesTheWorld) {
+  PipelineConfig a, b;
+  a.seed = 1;
+  b.seed = 2;
+  a.world.total_samples = b.world.total_samples = 40;
+  a.run_probe_campaign = b.run_probe_campaign = false;
+  Pipeline pa(a), pb(b);
+  EXPECT_NE(pa.world().samples().front().sha256, pb.world().samples().front().sha256);
+}
+
+TEST(PipelineE2E, RunTwiceThrows) {
+  PipelineConfig cfg;
+  cfg.world.total_samples = 5;
+  cfg.run_probe_campaign = false;
+  Pipeline p(cfg);
+  (void)p.run();
+  EXPECT_THROW((void)p.run(), std::logic_error);
+}
+
+TEST(PipelineE2E, HeadlineClaimScorecardIsGreen) {
+  // The paper-scale self-test: every abstract/§3-§5 scalar claim must land
+  // within its tolerance (see report/claims.cpp for the tolerances).
+  core::PipelineConfig cfg;  // full paper-scale configuration
+  cfg.seed = 22;
+  core::Pipeline pipeline(cfg);
+  const auto study = pipeline.run();
+  const auto checks = report::check_claims(study, pipeline.asdb());
+  for (const auto& c : checks) {
+    EXPECT_TRUE(c.pass) << c.id << ": " << c.claim << " — paper " << c.paper
+                        << ", measured " << c.measured;
+  }
+}

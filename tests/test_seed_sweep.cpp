@@ -1,0 +1,87 @@
+// Property tests across seeds: the pipeline's structural invariants must
+// hold for every world the generator can produce, not just the study seed.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pipeline.hpp"
+
+using namespace malnet;
+using namespace malnet::core;
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static StudyResults run(std::uint64_t seed, Pipeline** out = nullptr) {
+    PipelineConfig cfg;
+    cfg.seed = seed;
+    cfg.world.total_samples = 120;
+    cfg.run_probe_campaign = false;
+    static std::map<std::uint64_t, std::unique_ptr<Pipeline>> pipelines;
+    static std::map<std::uint64_t, StudyResults> cache;
+    if (cache.count(seed) == 0) {
+      pipelines[seed] = std::make_unique<Pipeline>(cfg);
+      cache[seed] = pipelines[seed]->run();
+    }
+    if (out != nullptr) *out = pipelines[seed].get();
+    return cache[seed];
+  }
+};
+
+TEST_P(SeedSweep, EverySampleAnalysedExactlyOnce) {
+  const auto r = run(GetParam());
+  EXPECT_EQ(r.d_samples.size(), 120u);
+  std::set<std::string> shas;
+  for (const auto& s : r.d_samples) {
+    EXPECT_TRUE(shas.insert(s.sha256).second) << "duplicate analysis record";
+  }
+}
+
+TEST_P(SeedSweep, DetectionsNeverInventAddresses) {
+  Pipeline* pipeline = nullptr;
+  const auto r = run(GetParam(), &pipeline);
+  for (const auto& [addr, rec] : r.d_c2s) {
+    EXPECT_NE(pipeline->world().find_c2(addr), nullptr) << addr;
+  }
+}
+
+TEST_P(SeedSweep, LivenessNeverContradictsGroundTruth) {
+  Pipeline* pipeline = nullptr;
+  const auto r = run(GetParam(), &pipeline);
+  for (const auto& [addr, rec] : r.d_c2s) {
+    for (const auto day : rec.live_days) {
+      EXPECT_TRUE(pipeline->world().c2_alive_on(addr, day)) << addr << " day " << day;
+    }
+  }
+}
+
+TEST_P(SeedSweep, DdosDetectionsEqualIssuedCommands) {
+  Pipeline* pipeline = nullptr;
+  const auto r = run(GetParam(), &pipeline);
+  EXPECT_EQ(r.d_ddos.size(), pipeline->world().all_issued().size());
+  for (const auto& d : r.d_ddos) EXPECT_TRUE(d.detection.verified);
+}
+
+TEST_P(SeedSweep, ExploitAttributionsAreAlwaysKnownVulns) {
+  const auto r = run(GetParam());
+  for (const auto& e : r.d_exploits) {
+    EXPECT_NO_THROW((void)vulndb::VulnDatabase::instance().by_id(e.vuln));
+    EXPECT_FALSE(e.loader_name.empty());
+  }
+}
+
+TEST_P(SeedSweep, LifespansWithinPlannedLifetimes) {
+  Pipeline* pipeline = nullptr;
+  const auto r = run(GetParam(), &pipeline);
+  for (const auto& [addr, rec] : r.d_c2s) {
+    if (!rec.ever_live()) continue;
+    const auto* plan = pipeline->world().find_c2(addr);
+    ASSERT_NE(plan, nullptr);
+    EXPECT_LE(rec.observed_lifespan_days(), plan->lifetime_days);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 7u, 22u, 404u, 0xDEADBEEFu),
+                         [](const auto& info) {
+                           return "seed_" + std::to_string(info.param);
+                         });

@@ -1,0 +1,205 @@
+// Tests for str, stats, simtime and csv helpers.
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/simtime.hpp"
+#include "util/stats.hpp"
+#include "util/str.hpp"
+
+using namespace malnet::util;
+
+// --- str ---------------------------------------------------------------------
+
+TEST(Str, SplitPreservesEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Str, SplitWsCollapsesRuns) {
+  EXPECT_EQ(split_ws("  a \t b\nc  "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Str, JoinInverseOfSplit) {
+  EXPECT_EQ(join({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(Str, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Str, CaseHelpers) {
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_EQ(to_upper("AbC"), "ABC");
+  EXPECT_TRUE(iequals("UDP", "udp"));
+  EXPECT_FALSE(iequals("UDP", "ud"));
+}
+
+TEST(Str, ParseU64Strict) {
+  EXPECT_EQ(parse_u64("123"), 123u);
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("12x"));
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64(" 1"));
+}
+
+TEST(Str, FormatArgs) {
+  EXPECT_EQ(format_args("{} + {} = {}", {"1", "2", "3"}), "1 + 2 = 3");
+  EXPECT_EQ(format_args("{}", {}), "{}");
+}
+
+TEST(Str, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+}
+
+TEST(Str, PercentFormatting) {
+  EXPECT_EQ(percent(0.153), "15.3%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+// --- stats -------------------------------------------------------------------
+
+TEST(Cdf, BasicQueries) {
+  Cdf c;
+  for (double x : {1.0, 1.0, 1.0, 2.0, 4.0}) c.add(x);
+  EXPECT_DOUBLE_EQ(c.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.at(1.0), 0.6);
+  EXPECT_DOUBLE_EQ(c.at(3.0), 0.8);
+  EXPECT_DOUBLE_EQ(c.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.mass_at(1.0), 0.6);
+  EXPECT_DOUBLE_EQ(c.mean(), 1.8);
+  EXPECT_DOUBLE_EQ(c.min(), 1.0);
+  EXPECT_DOUBLE_EQ(c.max(), 4.0);
+}
+
+TEST(Cdf, Quantiles) {
+  Cdf c;
+  for (int i = 1; i <= 100; ++i) c.add(i);
+  EXPECT_DOUBLE_EQ(c.quantile(0.5), 50);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 100);
+  EXPECT_DOUBLE_EQ(c.quantile(0.01), 1);
+  EXPECT_THROW((void)c.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Cdf, StepsAreMonotone) {
+  Cdf c;
+  for (double x : {3.0, 1.0, 2.0, 2.0}) c.add(x);
+  const auto steps = c.steps();
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_DOUBLE_EQ(steps.back().second, 1.0);
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_GT(steps[i].first, steps[i - 1].first);
+    EXPECT_GT(steps[i].second, steps[i - 1].second);
+  }
+}
+
+TEST(Cdf, EmptyBehaviour) {
+  Cdf c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_DOUBLE_EQ(c.at(1.0), 0.0);
+  EXPECT_THROW((void)c.min(), std::logic_error);
+}
+
+TEST(Histogram, CountsAndMode) {
+  Histogram h;
+  h.add(1);
+  h.add(2, 5);
+  h.add(1);
+  EXPECT_EQ(h.at(1), 2u);
+  EXPECT_EQ(h.at(2), 5u);
+  EXPECT_EQ(h.at(3), 0u);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.mode(), 2);
+}
+
+TEST(Stats, Pearson) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-9);
+  const std::vector<double> zs{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-9);
+  const std::vector<double> flat{1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(pearson(xs, flat), 0.0);
+}
+
+// --- simtime -----------------------------------------------------------------
+
+TEST(SimTime, DurationArithmetic) {
+  EXPECT_EQ(Duration::days(1).us, 86'400'000'000LL);
+  EXPECT_EQ((Duration::hours(1) * 24).us, Duration::days(1).us);
+  EXPECT_EQ((Duration::minutes(90) - Duration::hours(1)).us, Duration::minutes(30).us);
+}
+
+TEST(SimTime, DayAndWeek) {
+  const SimTime t{Duration::days(15).us + Duration::hours(3).us};
+  EXPECT_EQ(t.day(), 15);
+  EXPECT_EQ(t.week(), 3);  // days 14..20 are week 3 (1-based)
+  EXPECT_EQ(SimTime{0}.week(), 1);
+}
+
+TEST(SimTime, Rendering) {
+  const SimTime t = SimTime{} + Duration::days(2) + Duration::hours(3) +
+                    Duration::minutes(4) + Duration::seconds(5);
+  EXPECT_EQ(to_string(t), "d2 03:04:05");
+  EXPECT_EQ(to_string(Duration::hours(26)), "1d2h");
+  EXPECT_EQ(to_string(Duration::minutes(61)), "1h1m");
+}
+
+TEST(SimTime, StudyDateCalendar) {
+  EXPECT_EQ(study_date(0), "2021-03-29");
+  EXPECT_EQ(study_date(2), "2021-03-31");
+  EXPECT_EQ(study_date(3), "2021-04-01");
+  EXPECT_EQ(study_date(278), "2022-01-01");
+  EXPECT_EQ(study_date(364), "2022-03-28");
+}
+
+TEST(SimTime, CivilToStudyDay) {
+  EXPECT_EQ(civil_to_study_day(2021, 3, 29), 0);
+  EXPECT_EQ(civil_to_study_day(2021, 3, 28), -1);
+  EXPECT_EQ(civil_to_study_day(2022, 5, 7), 404);
+  // Table 4 publication dates land well before the study.
+  EXPECT_LT(civil_to_study_day(2015, 2, 23), -2000);
+}
+
+// --- csv ---------------------------------------------------------------------
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter w({"a", "b"});
+  w.field("plain").field("has,comma");
+  w.end_row();
+  w.field("has\"quote").field("line\nbreak");
+  w.end_row();
+  const auto s = w.str();
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_EQ(w.rows(), 2u);
+}
+
+TEST(Csv, EnforcesRowWidth) {
+  CsvWriter w({"a", "b"});
+  w.field("1");
+  EXPECT_THROW(w.end_row(), std::logic_error);
+  w.field("2");
+  EXPECT_THROW(w.field("3"), std::logic_error);
+}
+
+TEST(Csv, NumericFields) {
+  CsvWriter w({"n", "d"});
+  w.field(std::uint64_t{42}).field(3.14159, 2);
+  w.end_row();
+  EXPECT_NE(w.str().find("42,3.14"), std::string::npos);
+}
+
+TEST(Cdf, QuantileAtZeroIsSmallestSample) {
+  // Regression: q=0 used to produce a negative index before the unsigned
+  // cast (UB); it must return the minimum.
+  Cdf c;
+  for (double x : {5.0, 1.0, 9.0}) c.add(x);
+  EXPECT_DOUBLE_EQ(c.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.quantile(1e-9), 1.0);
+}

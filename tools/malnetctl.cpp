@@ -1,0 +1,325 @@
+// malnetctl — command-line front end for the MalNet library.
+//
+//   malnetctl forge   --family <name> --c2 <ip:port> [--vuln <cve>] --out <file.mbf>
+//   malnetctl inspect <file.mbf>
+//   malnetctl analyze <file.mbf> [--pcap <out.pcap>]
+//   malnetctl study   [--samples N] [--seed N] [--no-probe] [--claims]
+//   malnetctl export-rules [--samples N] [--seed N] --out <file.rules>
+//
+// `forge` produces the same inert MBF artifacts the test corpus uses;
+// `analyze` runs the observe-mode sandbox plus C2 classification and
+// exploit attribution on one file; `study` runs the pipeline and prints the
+// headline tables (or the claim scorecard with --claims).
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/c2detect.hpp"
+#include "core/exploit_id.hpp"
+#include "core/pipeline.hpp"
+#include "emu/sandbox.hpp"
+#include "mal/binary.hpp"
+#include "mal/labels.hpp"
+#include "report/claims.hpp"
+#include "report/dataset_io.hpp"
+#include "report/digest.hpp"
+#include "report/dossier.hpp"
+#include "report/figures.hpp"
+#include "report/rules_export.hpp"
+#include "report/tables.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace malnet;
+
+[[noreturn]] void usage() {
+  std::cerr <<
+      "usage: malnetctl <command> [options]\n"
+      "  forge --family <Mirai|Gafgyt|...> --c2 <ip:port> [--vuln <cve>]\n"
+      "        [--seed N] --out <file.mbf>\n"
+      "  inspect <file.mbf>\n"
+      "  analyze <file.mbf> [--pcap <out.pcap>]\n"
+      "  study [--samples N] [--seed N] [--no-probe] [--claims]\n"
+      "        [--save-datasets <file.mds>]\n"
+      "  report <file.mds>   (re-render tables from a saved dataset artifact)\n"
+      "  dossier <file.mds> <c2-address|sample-sha>\n"
+      "  digest <file.mds> [--week N]\n"
+      "  export-rules [--samples N] [--seed N] --out <file.rules>\n";
+  std::exit(2);
+}
+
+util::Bytes read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return util::Bytes((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, util::BytesView data) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot write " + path);
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+}
+
+/// Minimal flag parser: --key value pairs plus positionals.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string key = a.substr(2);
+      if (key == "no-probe" || key == "claims") {
+        args.flags[key] = "1";
+      } else if (i + 1 < argc) {
+        args.flags[key] = argv[++i];
+      } else {
+        usage();
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+int cmd_forge(const Args& args) {
+  const auto family = proto::family_from_string(args.get("family", "Mirai"));
+  if (!family) {
+    std::cerr << "unknown family\n";
+    return 2;
+  }
+  mal::MbfBinary bin;
+  bin.behavior.family = *family;
+  bin.behavior.bot_id = proto::to_string(*family) + ".ctl";
+  bin.marker_strings = {mal::family_marker(*family)};
+
+  if (proto::is_p2p(*family)) {
+    bin.behavior.node_id = std::string(20, 'P');
+    bin.behavior.p2p_peers = {{net::Ipv4{100, 70, 0, 1}, 6881}};
+  } else {
+    const auto c2 = net::parse_endpoint(args.get("c2", "60.1.2.3:23"));
+    if (!c2) {
+      std::cerr << "bad --c2 endpoint\n";
+      return 2;
+    }
+    bin.behavior.c2_ip = c2->ip;
+    bin.behavior.c2_port = c2->port;
+  }
+  if (args.has("vuln")) {
+    const auto* v = vulndb::VulnDatabase::instance().by_cve(args.get("vuln"));
+    if (v == nullptr) {
+      std::cerr << "unknown CVE (only Table 4 CVEs are known)\n";
+      return 2;
+    }
+    bin.behavior.scans.push_back({v->port, v->id, 60, 15.0});
+    bin.behavior.loader_name = "t8UsA2.sh";
+    bin.behavior.downloader_host =
+        net::to_string(bin.behavior.c2_ip.value_or(net::Ipv4{60, 1, 2, 3}));
+  }
+  util::Rng rng(std::stoull(args.get("seed", "1")));
+  const auto bytes = mal::forge(bin, rng);
+  const auto out = args.get("out", "sample.mbf");
+  write_file(out, bytes);
+  std::cout << "forged " << out << " (" << bytes.size() << " bytes, sha "
+            << mal::digest(bytes).substr(0, 16) << "…)\n";
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  if (args.positional.empty()) usage();
+  const auto bytes = read_file(args.positional[0]);
+  const auto parsed = mal::parse(bytes);
+  if (!parsed) {
+    std::cout << "not an MBF binary\n";
+    return 1;
+  }
+  std::cout << "arch: " << (parsed->arch == mal::Arch::kMips32 ? "MIPS32"
+                            : parsed->arch == mal::Arch::kArm32 ? "ARM32"
+                                                                : "x86")
+            << "\nsha256: " << mal::digest(bytes) << '\n';
+  const auto label = mal::yara_label(bytes);
+  std::cout << "YARA label: " << (label ? proto::to_string(*label) : "(none)") << '\n';
+  const auto& b = parsed->behavior;
+  std::cout << "family: " << proto::to_string(b.family) << '\n';
+  if (b.c2_domain) std::cout << "C2: " << *b.c2_domain << ':' << b.c2_port << '\n';
+  if (b.c2_ip) std::cout << "C2: " << net::to_string(*b.c2_ip) << ':' << b.c2_port << '\n';
+  if (b.c2_fallback_ip) {
+    std::cout << "fallback C2: " << net::to_string(*b.c2_fallback_ip) << '\n';
+  }
+  for (const auto& s : b.scans) {
+    std::cout << "scan: port " << s.port << ", " << s.target_count << " targets @ "
+              << s.pps << " pps"
+              << (s.vuln ? " exploiting " + vulndb::to_string(*s.vuln) : std::string())
+              << '\n';
+  }
+  if (const auto err = b.validate()) std::cout << "INVALID: " << *err << '\n';
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional.empty()) usage();
+  const auto bytes = read_file(args.positional[0]);
+
+  sim::EventScheduler sched;
+  sim::Network net(sched);
+  emu::Sandbox sandbox(net);
+  emu::SandboxReport report;
+  bool done = false;
+  sandbox.start(bytes, {}, [&](const emu::SandboxReport& r) {
+    report = r;
+    done = true;
+  });
+  sched.run_until(sched.now() + sim::Duration::minutes(12));
+  if (!done || !report.parsed) {
+    std::cout << "sample did not run\n";
+    return 1;
+  }
+  if (report.unsupported_arch) {
+    std::cout << "unsupported CPU architecture (sandbox is MIPS32-only)\n";
+    return 1;
+  }
+  std::cout << "activated: " << (report.activated ? "yes" : "no") << ", "
+            << report.capture.size() << " packets, " << report.dns_queries.size()
+            << " DNS queries, " << report.exploits.size() << " exploit payloads\n";
+  for (const auto& cand : core::detect_c2(report, sandbox.martian())) {
+    std::cout << "C2 candidate: " << cand.address << ':' << cand.port << " ("
+              << cand.connection_attempts << " attempts)\n";
+  }
+  for (const auto& finding : core::identify_exploits(report)) {
+    const auto& v = vulndb::VulnDatabase::instance().by_id(finding.vuln);
+    std::cout << "exploit: " << v.name << " -> http://" << finding.downloader_host
+              << '/' << finding.loader_name << '\n';
+  }
+  if (args.has("pcap")) {
+    report.save_pcap(args.get("pcap"));
+    std::cout << "wrote " << args.get("pcap") << '\n';
+  }
+  return 0;
+}
+
+core::StudyResults run_study(const Args& args, core::Pipeline** out_pipeline) {
+  core::PipelineConfig cfg;
+  cfg.seed = std::stoull(args.get("seed", "22"));
+  if (args.has("samples")) cfg.world.total_samples = std::stoi(args.get("samples"));
+  if (args.has("no-probe")) cfg.run_probe_campaign = false;
+  static core::Pipeline pipeline(cfg);
+  *out_pipeline = &pipeline;
+  return pipeline.run();
+}
+
+int cmd_study(const Args& args) {
+  util::set_log_level(util::LogLevel::kInfo);
+  core::Pipeline* pipeline = nullptr;
+  const auto results = run_study(args, &pipeline);
+  util::set_log_level(util::LogLevel::kOff);
+  if (args.has("save-datasets")) {
+    report::save_datasets(results, args.get("save-datasets"));
+    std::cout << "datasets saved to " << args.get("save-datasets") << "\n";
+  }
+  if (args.has("claims")) {
+    std::cout << report::render_claims(report::check_claims(results, pipeline->asdb()));
+  } else {
+    std::cout << report::table1_datasets(results) << '\n'
+              << report::table3_ti_miss(results) << '\n'
+              << report::figure11_ddos_types(results, pipeline->asdb());
+  }
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  if (args.positional.empty()) usage();
+  const auto results = report::load_datasets(args.positional[0]);
+  const auto asdb = asdb::AsDatabase::standard();
+  std::cout << report::table1_datasets(results) << '\n'
+            << report::table3_ti_miss(results) << '\n'
+            << report::figure11_ddos_types(results, asdb) << '\n'
+            << report::render_claims(report::check_claims(results, asdb));
+  return 0;
+}
+
+int cmd_dossier(const Args& args) {
+  if (args.positional.size() < 2) usage();
+  const auto results = report::load_datasets(args.positional[0]);
+  const auto asdb = asdb::AsDatabase::standard();
+  const std::string& key = args.positional[1];
+  if (const auto c2 = report::build_c2_dossier(results, asdb, key)) {
+    std::cout << report::render_dossier(*c2);
+    return 0;
+  }
+  // Accept sha prefixes for convenience.
+  for (const auto& s : results.d_samples) {
+    if (s.sha256.rfind(key, 0) == 0) {
+      const auto sample = report::build_sample_dossier(results, s.sha256);
+      if (sample) {
+        std::cout << report::render_dossier(*sample);
+        return 0;
+      }
+    }
+  }
+  std::cerr << "no C2 or sample matches '" << key << "'\n";
+  return 1;
+}
+
+int cmd_digest(const Args& args) {
+  if (args.positional.empty()) usage();
+  const auto results = report::load_datasets(args.positional[0]);
+  if (args.has("week")) {
+    std::cout << report::render_digest(
+        report::build_weekly_digest(results, std::stoi(args.get("week"))));
+    return 0;
+  }
+  for (const auto& digest : report::build_all_digests(results)) {
+    std::cout << report::render_digest(digest) << '\n';
+  }
+  return 0;
+}
+
+int cmd_export_rules(const Args& args) {
+  core::Pipeline* pipeline = nullptr;
+  const auto results = run_study(args, &pipeline);
+  const auto rules = report::export_snort_rules(results);
+  (void)report::compile_exported_rules(results);  // self-check before shipping
+  const auto out = args.get("out", "malnet.rules");
+  std::ofstream(out) << rules;
+  std::cout << "wrote " << out << " ("
+            << report::build_blocklist(results).size() << " IoCs)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (cmd == "forge") return cmd_forge(args);
+    if (cmd == "inspect") return cmd_inspect(args);
+    if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "study") return cmd_study(args);
+    if (cmd == "report") return cmd_report(args);
+    if (cmd == "dossier") return cmd_dossier(args);
+    if (cmd == "digest") return cmd_digest(args);
+    if (cmd == "export-rules") return cmd_export_rules(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  usage();
+}

@@ -1,0 +1,31 @@
+# Drives malnetctl through its artifact workflow and checks the outputs.
+execute_process(COMMAND ${CTL} forge --family Gafgyt --c2 60.5.6.7:666
+                        --vuln CVE-2018-10561 --out smoke.mbf
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "forge failed: ${out}")
+endif()
+execute_process(COMMAND ${CTL} inspect smoke.mbf
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "YARA label: Gafgyt")
+  message(FATAL_ERROR "inspect failed: ${out}")
+endif()
+execute_process(COMMAND ${CTL} analyze smoke.mbf --pcap smoke.pcap
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "C2 candidate: 60.5.6.7:666")
+  message(FATAL_ERROR "analyze failed: ${out}")
+endif()
+if(NOT EXISTS smoke.pcap)
+  message(FATAL_ERROR "analyze did not write the pcap")
+endif()
+execute_process(COMMAND ${CTL} study --samples 60 --no-probe
+                        --save-datasets smoke.mds
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "study failed: ${err}")
+endif()
+execute_process(COMMAND ${CTL} report smoke.mds
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "D-Samples   60")
+  message(FATAL_ERROR "report failed: ${out}")
+endif()
