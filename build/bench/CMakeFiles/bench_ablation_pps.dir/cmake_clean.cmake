@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pps.dir/bench_ablation_pps.cpp.o"
+  "CMakeFiles/bench_ablation_pps.dir/bench_ablation_pps.cpp.o.d"
+  "bench_ablation_pps"
+  "bench_ablation_pps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_probe_cadence.dir/bench_ablation_probe_cadence.cpp.o"
+  "CMakeFiles/bench_ablation_probe_cadence.dir/bench_ablation_probe_cadence.cpp.o.d"
+  "bench_ablation_probe_cadence"
+  "bench_ablation_probe_cadence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_probe_cadence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

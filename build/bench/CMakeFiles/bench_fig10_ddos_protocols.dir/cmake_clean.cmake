@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ddos_protocols.dir/bench_fig10_ddos_protocols.cpp.o"
+  "CMakeFiles/bench_fig10_ddos_protocols.dir/bench_fig10_ddos_protocols.cpp.o.d"
+  "bench_fig10_ddos_protocols"
+  "bench_fig10_ddos_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ddos_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

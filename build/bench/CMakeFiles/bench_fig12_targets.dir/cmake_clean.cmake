@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_targets.dir/bench_fig12_targets.cpp.o"
+  "CMakeFiles/bench_fig12_targets.dir/bench_fig12_targets.cpp.o.d"
+  "bench_fig12_targets"
+  "bench_fig12_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

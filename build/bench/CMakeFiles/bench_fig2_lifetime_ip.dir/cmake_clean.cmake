@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_lifetime_ip.dir/bench_fig2_lifetime_ip.cpp.o"
+  "CMakeFiles/bench_fig2_lifetime_ip.dir/bench_fig2_lifetime_ip.cpp.o.d"
+  "bench_fig2_lifetime_ip"
+  "bench_fig2_lifetime_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_lifetime_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_lifetime_domain.dir/bench_fig3_lifetime_domain.cpp.o"
+  "CMakeFiles/bench_fig3_lifetime_domain.dir/bench_fig3_lifetime_domain.cpp.o.d"
+  "bench_fig3_lifetime_domain"
+  "bench_fig3_lifetime_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_lifetime_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_samples_per_domain.dir/bench_fig6_samples_per_domain.cpp.o"
+  "CMakeFiles/bench_fig6_samples_per_domain.dir/bench_fig6_samples_per_domain.cpp.o.d"
+  "bench_fig6_samples_per_domain"
+  "bench_fig6_samples_per_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_samples_per_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

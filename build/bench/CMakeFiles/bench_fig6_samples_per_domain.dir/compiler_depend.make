@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6_samples_per_domain.
+# This may be replaced when dependencies are built.

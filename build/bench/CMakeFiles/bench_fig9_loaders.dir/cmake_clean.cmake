@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_loaders.dir/bench_fig9_loaders.cpp.o"
+  "CMakeFiles/bench_fig9_loaders.dir/bench_fig9_loaders.cpp.o.d"
+  "bench_fig9_loaders"
+  "bench_fig9_loaders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_loaders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

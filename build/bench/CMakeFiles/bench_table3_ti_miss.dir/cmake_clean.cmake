@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_ti_miss.dir/bench_table3_ti_miss.cpp.o"
+  "CMakeFiles/bench_table3_ti_miss.dir/bench_table3_ti_miss.cpp.o.d"
+  "bench_table3_ti_miss"
+  "bench_table3_ti_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ti_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

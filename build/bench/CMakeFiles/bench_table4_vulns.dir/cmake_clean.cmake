@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_vulns.dir/bench_table4_vulns.cpp.o"
+  "CMakeFiles/bench_table4_vulns.dir/bench_table4_vulns.cpp.o.d"
+  "bench_table4_vulns"
+  "bench_table4_vulns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_vulns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

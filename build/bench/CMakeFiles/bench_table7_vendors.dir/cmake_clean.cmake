@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_vendors.dir/bench_table7_vendors.cpp.o"
+  "CMakeFiles/bench_table7_vendors.dir/bench_table7_vendors.cpp.o.d"
+  "bench_table7_vendors"
+  "bench_table7_vendors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_vendors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

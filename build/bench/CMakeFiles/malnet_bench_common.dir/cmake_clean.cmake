@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnet_bench_common.dir/common.cpp.o"
+  "CMakeFiles/malnet_bench_common.dir/common.cpp.o.d"
+  "libmalnet_bench_common.a"
+  "libmalnet_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnet_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2_hunt.dir/c2_hunt.cpp.o"
+  "CMakeFiles/c2_hunt.dir/c2_hunt.cpp.o.d"
+  "c2_hunt"
+  "c2_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

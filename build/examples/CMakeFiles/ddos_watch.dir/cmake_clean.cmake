@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_watch.dir/ddos_watch.cpp.o"
+  "CMakeFiles/ddos_watch.dir/ddos_watch.cpp.o.d"
+  "ddos_watch"
+  "ddos_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

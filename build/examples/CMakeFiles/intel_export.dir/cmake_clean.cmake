@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intel_export.dir/intel_export.cpp.o"
+  "CMakeFiles/intel_export.dir/intel_export.cpp.o.d"
+  "intel_export"
+  "intel_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intel_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

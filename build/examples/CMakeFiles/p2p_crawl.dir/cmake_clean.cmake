@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_crawl.dir/p2p_crawl.cpp.o"
+  "CMakeFiles/p2p_crawl.dir/p2p_crawl.cpp.o.d"
+  "p2p_crawl"
+  "p2p_crawl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

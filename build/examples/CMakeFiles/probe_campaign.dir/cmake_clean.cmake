@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_campaign.dir/probe_campaign.cpp.o"
+  "CMakeFiles/probe_campaign.dir/probe_campaign.cpp.o.d"
+  "probe_campaign"
+  "probe_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

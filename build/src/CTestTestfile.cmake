@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("sim")
+subdirs("dns")
+subdirs("asdb")
+subdirs("inetsim")
+subdirs("ids")
+subdirs("vulndb")
+subdirs("proto")
+subdirs("mal")
+subdirs("botnet")
+subdirs("emu")
+subdirs("intel")
+subdirs("core")
+subdirs("report")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnet_asdb.dir/asdb.cpp.o"
+  "CMakeFiles/malnet_asdb.dir/asdb.cpp.o.d"
+  "libmalnet_asdb.a"
+  "libmalnet_asdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnet_asdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for malnet_asdb.
+# This may be replaced when dependencies are built.

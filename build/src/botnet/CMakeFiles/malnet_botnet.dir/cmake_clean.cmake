@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnet_botnet.dir/c2server.cpp.o"
+  "CMakeFiles/malnet_botnet.dir/c2server.cpp.o.d"
+  "CMakeFiles/malnet_botnet.dir/downloader.cpp.o"
+  "CMakeFiles/malnet_botnet.dir/downloader.cpp.o.d"
+  "CMakeFiles/malnet_botnet.dir/p2p_overlay.cpp.o"
+  "CMakeFiles/malnet_botnet.dir/p2p_overlay.cpp.o.d"
+  "CMakeFiles/malnet_botnet.dir/probe_world.cpp.o"
+  "CMakeFiles/malnet_botnet.dir/probe_world.cpp.o.d"
+  "CMakeFiles/malnet_botnet.dir/world.cpp.o"
+  "CMakeFiles/malnet_botnet.dir/world.cpp.o.d"
+  "libmalnet_botnet.a"
+  "libmalnet_botnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnet_botnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

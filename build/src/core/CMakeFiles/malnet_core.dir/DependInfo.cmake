@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/c2detect.cpp" "src/core/CMakeFiles/malnet_core.dir/c2detect.cpp.o" "gcc" "src/core/CMakeFiles/malnet_core.dir/c2detect.cpp.o.d"
+  "/root/repo/src/core/ddos.cpp" "src/core/CMakeFiles/malnet_core.dir/ddos.cpp.o" "gcc" "src/core/CMakeFiles/malnet_core.dir/ddos.cpp.o.d"
+  "/root/repo/src/core/exploit_id.cpp" "src/core/CMakeFiles/malnet_core.dir/exploit_id.cpp.o" "gcc" "src/core/CMakeFiles/malnet_core.dir/exploit_id.cpp.o.d"
+  "/root/repo/src/core/offline.cpp" "src/core/CMakeFiles/malnet_core.dir/offline.cpp.o" "gcc" "src/core/CMakeFiles/malnet_core.dir/offline.cpp.o.d"
+  "/root/repo/src/core/p2p_crawl.cpp" "src/core/CMakeFiles/malnet_core.dir/p2p_crawl.cpp.o" "gcc" "src/core/CMakeFiles/malnet_core.dir/p2p_crawl.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/malnet_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/malnet_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/prober.cpp" "src/core/CMakeFiles/malnet_core.dir/prober.cpp.o" "gcc" "src/core/CMakeFiles/malnet_core.dir/prober.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/emu/CMakeFiles/malnet_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/botnet/CMakeFiles/malnet_botnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/intel/CMakeFiles/malnet_intel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ids/CMakeFiles/malnet_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/malnet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mal/CMakeFiles/malnet_mal.dir/DependInfo.cmake"
+  "/root/repo/build/src/vulndb/CMakeFiles/malnet_vulndb.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/malnet_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/inetsim/CMakeFiles/malnet_inetsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/malnet_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/malnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/malnet_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/malnet_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnet_core.dir/c2detect.cpp.o"
+  "CMakeFiles/malnet_core.dir/c2detect.cpp.o.d"
+  "CMakeFiles/malnet_core.dir/ddos.cpp.o"
+  "CMakeFiles/malnet_core.dir/ddos.cpp.o.d"
+  "CMakeFiles/malnet_core.dir/exploit_id.cpp.o"
+  "CMakeFiles/malnet_core.dir/exploit_id.cpp.o.d"
+  "CMakeFiles/malnet_core.dir/offline.cpp.o"
+  "CMakeFiles/malnet_core.dir/offline.cpp.o.d"
+  "CMakeFiles/malnet_core.dir/p2p_crawl.cpp.o"
+  "CMakeFiles/malnet_core.dir/p2p_crawl.cpp.o.d"
+  "CMakeFiles/malnet_core.dir/pipeline.cpp.o"
+  "CMakeFiles/malnet_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/malnet_core.dir/prober.cpp.o"
+  "CMakeFiles/malnet_core.dir/prober.cpp.o.d"
+  "libmalnet_core.a"
+  "libmalnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnet_dns.dir/message.cpp.o"
+  "CMakeFiles/malnet_dns.dir/message.cpp.o.d"
+  "CMakeFiles/malnet_dns.dir/resolver.cpp.o"
+  "CMakeFiles/malnet_dns.dir/resolver.cpp.o.d"
+  "CMakeFiles/malnet_dns.dir/server.cpp.o"
+  "CMakeFiles/malnet_dns.dir/server.cpp.o.d"
+  "libmalnet_dns.a"
+  "libmalnet_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnet_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnet_emu.dir/attackgen.cpp.o"
+  "CMakeFiles/malnet_emu.dir/attackgen.cpp.o.d"
+  "CMakeFiles/malnet_emu.dir/malproc.cpp.o"
+  "CMakeFiles/malnet_emu.dir/malproc.cpp.o.d"
+  "CMakeFiles/malnet_emu.dir/sandbox.cpp.o"
+  "CMakeFiles/malnet_emu.dir/sandbox.cpp.o.d"
+  "libmalnet_emu.a"
+  "libmalnet_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnet_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

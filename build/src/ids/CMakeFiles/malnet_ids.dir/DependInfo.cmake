@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ids/engine.cpp" "src/ids/CMakeFiles/malnet_ids.dir/engine.cpp.o" "gcc" "src/ids/CMakeFiles/malnet_ids.dir/engine.cpp.o.d"
+  "/root/repo/src/ids/rules.cpp" "src/ids/CMakeFiles/malnet_ids.dir/rules.cpp.o" "gcc" "src/ids/CMakeFiles/malnet_ids.dir/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/malnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/malnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/malnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

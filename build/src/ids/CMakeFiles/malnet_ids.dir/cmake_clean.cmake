@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnet_ids.dir/engine.cpp.o"
+  "CMakeFiles/malnet_ids.dir/engine.cpp.o.d"
+  "CMakeFiles/malnet_ids.dir/rules.cpp.o"
+  "CMakeFiles/malnet_ids.dir/rules.cpp.o.d"
+  "libmalnet_ids.a"
+  "libmalnet_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnet_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

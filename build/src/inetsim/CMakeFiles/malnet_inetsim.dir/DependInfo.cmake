@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inetsim/http.cpp" "src/inetsim/CMakeFiles/malnet_inetsim.dir/http.cpp.o" "gcc" "src/inetsim/CMakeFiles/malnet_inetsim.dir/http.cpp.o.d"
+  "/root/repo/src/inetsim/services.cpp" "src/inetsim/CMakeFiles/malnet_inetsim.dir/services.cpp.o" "gcc" "src/inetsim/CMakeFiles/malnet_inetsim.dir/services.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/malnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/malnet_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/malnet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/malnet_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnet_inetsim.dir/http.cpp.o"
+  "CMakeFiles/malnet_inetsim.dir/http.cpp.o.d"
+  "CMakeFiles/malnet_inetsim.dir/services.cpp.o"
+  "CMakeFiles/malnet_inetsim.dir/services.cpp.o.d"
+  "libmalnet_inetsim.a"
+  "libmalnet_inetsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnet_inetsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnet_intel.dir/threat_intel.cpp.o"
+  "CMakeFiles/malnet_intel.dir/threat_intel.cpp.o.d"
+  "libmalnet_intel.a"
+  "libmalnet_intel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnet_intel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

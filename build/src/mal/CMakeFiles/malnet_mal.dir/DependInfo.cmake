@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mal/behavior.cpp" "src/mal/CMakeFiles/malnet_mal.dir/behavior.cpp.o" "gcc" "src/mal/CMakeFiles/malnet_mal.dir/behavior.cpp.o.d"
+  "/root/repo/src/mal/binary.cpp" "src/mal/CMakeFiles/malnet_mal.dir/binary.cpp.o" "gcc" "src/mal/CMakeFiles/malnet_mal.dir/binary.cpp.o.d"
+  "/root/repo/src/mal/labels.cpp" "src/mal/CMakeFiles/malnet_mal.dir/labels.cpp.o" "gcc" "src/mal/CMakeFiles/malnet_mal.dir/labels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/malnet_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/vulndb/CMakeFiles/malnet_vulndb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/malnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/malnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

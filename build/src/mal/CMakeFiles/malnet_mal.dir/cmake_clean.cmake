@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnet_mal.dir/behavior.cpp.o"
+  "CMakeFiles/malnet_mal.dir/behavior.cpp.o.d"
+  "CMakeFiles/malnet_mal.dir/binary.cpp.o"
+  "CMakeFiles/malnet_mal.dir/binary.cpp.o.d"
+  "CMakeFiles/malnet_mal.dir/labels.cpp.o"
+  "CMakeFiles/malnet_mal.dir/labels.cpp.o.d"
+  "libmalnet_mal.a"
+  "libmalnet_mal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnet_mal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

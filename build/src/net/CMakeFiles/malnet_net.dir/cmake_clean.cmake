@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnet_net.dir/checksum.cpp.o"
+  "CMakeFiles/malnet_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/malnet_net.dir/ipv4.cpp.o"
+  "CMakeFiles/malnet_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/malnet_net.dir/packet.cpp.o"
+  "CMakeFiles/malnet_net.dir/packet.cpp.o.d"
+  "CMakeFiles/malnet_net.dir/pcap.cpp.o"
+  "CMakeFiles/malnet_net.dir/pcap.cpp.o.d"
+  "libmalnet_net.a"
+  "libmalnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/attack.cpp" "src/proto/CMakeFiles/malnet_proto.dir/attack.cpp.o" "gcc" "src/proto/CMakeFiles/malnet_proto.dir/attack.cpp.o.d"
+  "/root/repo/src/proto/daddyl33t.cpp" "src/proto/CMakeFiles/malnet_proto.dir/daddyl33t.cpp.o" "gcc" "src/proto/CMakeFiles/malnet_proto.dir/daddyl33t.cpp.o.d"
+  "/root/repo/src/proto/family.cpp" "src/proto/CMakeFiles/malnet_proto.dir/family.cpp.o" "gcc" "src/proto/CMakeFiles/malnet_proto.dir/family.cpp.o.d"
+  "/root/repo/src/proto/gafgyt.cpp" "src/proto/CMakeFiles/malnet_proto.dir/gafgyt.cpp.o" "gcc" "src/proto/CMakeFiles/malnet_proto.dir/gafgyt.cpp.o.d"
+  "/root/repo/src/proto/irc.cpp" "src/proto/CMakeFiles/malnet_proto.dir/irc.cpp.o" "gcc" "src/proto/CMakeFiles/malnet_proto.dir/irc.cpp.o.d"
+  "/root/repo/src/proto/mirai.cpp" "src/proto/CMakeFiles/malnet_proto.dir/mirai.cpp.o" "gcc" "src/proto/CMakeFiles/malnet_proto.dir/mirai.cpp.o.d"
+  "/root/repo/src/proto/p2p.cpp" "src/proto/CMakeFiles/malnet_proto.dir/p2p.cpp.o" "gcc" "src/proto/CMakeFiles/malnet_proto.dir/p2p.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/malnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/malnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

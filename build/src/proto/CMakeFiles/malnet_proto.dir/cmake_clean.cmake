@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnet_proto.dir/attack.cpp.o"
+  "CMakeFiles/malnet_proto.dir/attack.cpp.o.d"
+  "CMakeFiles/malnet_proto.dir/daddyl33t.cpp.o"
+  "CMakeFiles/malnet_proto.dir/daddyl33t.cpp.o.d"
+  "CMakeFiles/malnet_proto.dir/family.cpp.o"
+  "CMakeFiles/malnet_proto.dir/family.cpp.o.d"
+  "CMakeFiles/malnet_proto.dir/gafgyt.cpp.o"
+  "CMakeFiles/malnet_proto.dir/gafgyt.cpp.o.d"
+  "CMakeFiles/malnet_proto.dir/irc.cpp.o"
+  "CMakeFiles/malnet_proto.dir/irc.cpp.o.d"
+  "CMakeFiles/malnet_proto.dir/mirai.cpp.o"
+  "CMakeFiles/malnet_proto.dir/mirai.cpp.o.d"
+  "CMakeFiles/malnet_proto.dir/p2p.cpp.o"
+  "CMakeFiles/malnet_proto.dir/p2p.cpp.o.d"
+  "libmalnet_proto.a"
+  "libmalnet_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnet_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

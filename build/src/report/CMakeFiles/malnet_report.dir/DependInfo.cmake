@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/claims.cpp" "src/report/CMakeFiles/malnet_report.dir/claims.cpp.o" "gcc" "src/report/CMakeFiles/malnet_report.dir/claims.cpp.o.d"
+  "/root/repo/src/report/dataset_io.cpp" "src/report/CMakeFiles/malnet_report.dir/dataset_io.cpp.o" "gcc" "src/report/CMakeFiles/malnet_report.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/report/digest.cpp" "src/report/CMakeFiles/malnet_report.dir/digest.cpp.o" "gcc" "src/report/CMakeFiles/malnet_report.dir/digest.cpp.o.d"
+  "/root/repo/src/report/dossier.cpp" "src/report/CMakeFiles/malnet_report.dir/dossier.cpp.o" "gcc" "src/report/CMakeFiles/malnet_report.dir/dossier.cpp.o.d"
+  "/root/repo/src/report/export_series.cpp" "src/report/CMakeFiles/malnet_report.dir/export_series.cpp.o" "gcc" "src/report/CMakeFiles/malnet_report.dir/export_series.cpp.o.d"
+  "/root/repo/src/report/figures.cpp" "src/report/CMakeFiles/malnet_report.dir/figures.cpp.o" "gcc" "src/report/CMakeFiles/malnet_report.dir/figures.cpp.o.d"
+  "/root/repo/src/report/render.cpp" "src/report/CMakeFiles/malnet_report.dir/render.cpp.o" "gcc" "src/report/CMakeFiles/malnet_report.dir/render.cpp.o.d"
+  "/root/repo/src/report/rules_export.cpp" "src/report/CMakeFiles/malnet_report.dir/rules_export.cpp.o" "gcc" "src/report/CMakeFiles/malnet_report.dir/rules_export.cpp.o.d"
+  "/root/repo/src/report/summary.cpp" "src/report/CMakeFiles/malnet_report.dir/summary.cpp.o" "gcc" "src/report/CMakeFiles/malnet_report.dir/summary.cpp.o.d"
+  "/root/repo/src/report/tables.cpp" "src/report/CMakeFiles/malnet_report.dir/tables.cpp.o" "gcc" "src/report/CMakeFiles/malnet_report.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/malnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ids/CMakeFiles/malnet_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/malnet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/malnet_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/botnet/CMakeFiles/malnet_botnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/mal/CMakeFiles/malnet_mal.dir/DependInfo.cmake"
+  "/root/repo/build/src/vulndb/CMakeFiles/malnet_vulndb.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/malnet_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/inetsim/CMakeFiles/malnet_inetsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/malnet_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/malnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/malnet_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/intel/CMakeFiles/malnet_intel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/malnet_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

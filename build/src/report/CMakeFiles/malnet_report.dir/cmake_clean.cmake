@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnet_report.dir/claims.cpp.o"
+  "CMakeFiles/malnet_report.dir/claims.cpp.o.d"
+  "CMakeFiles/malnet_report.dir/dataset_io.cpp.o"
+  "CMakeFiles/malnet_report.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/malnet_report.dir/digest.cpp.o"
+  "CMakeFiles/malnet_report.dir/digest.cpp.o.d"
+  "CMakeFiles/malnet_report.dir/dossier.cpp.o"
+  "CMakeFiles/malnet_report.dir/dossier.cpp.o.d"
+  "CMakeFiles/malnet_report.dir/export_series.cpp.o"
+  "CMakeFiles/malnet_report.dir/export_series.cpp.o.d"
+  "CMakeFiles/malnet_report.dir/figures.cpp.o"
+  "CMakeFiles/malnet_report.dir/figures.cpp.o.d"
+  "CMakeFiles/malnet_report.dir/render.cpp.o"
+  "CMakeFiles/malnet_report.dir/render.cpp.o.d"
+  "CMakeFiles/malnet_report.dir/rules_export.cpp.o"
+  "CMakeFiles/malnet_report.dir/rules_export.cpp.o.d"
+  "CMakeFiles/malnet_report.dir/summary.cpp.o"
+  "CMakeFiles/malnet_report.dir/summary.cpp.o.d"
+  "CMakeFiles/malnet_report.dir/tables.cpp.o"
+  "CMakeFiles/malnet_report.dir/tables.cpp.o.d"
+  "libmalnet_report.a"
+  "libmalnet_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnet_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnet_sim.dir/network.cpp.o"
+  "CMakeFiles/malnet_sim.dir/network.cpp.o.d"
+  "CMakeFiles/malnet_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/malnet_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/malnet_sim.dir/tcp.cpp.o"
+  "CMakeFiles/malnet_sim.dir/tcp.cpp.o.d"
+  "libmalnet_sim.a"
+  "libmalnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmalnet_sim.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnet_util.dir/bytes.cpp.o"
+  "CMakeFiles/malnet_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/malnet_util.dir/csv.cpp.o"
+  "CMakeFiles/malnet_util.dir/csv.cpp.o.d"
+  "CMakeFiles/malnet_util.dir/log.cpp.o"
+  "CMakeFiles/malnet_util.dir/log.cpp.o.d"
+  "CMakeFiles/malnet_util.dir/rng.cpp.o"
+  "CMakeFiles/malnet_util.dir/rng.cpp.o.d"
+  "CMakeFiles/malnet_util.dir/simtime.cpp.o"
+  "CMakeFiles/malnet_util.dir/simtime.cpp.o.d"
+  "CMakeFiles/malnet_util.dir/stats.cpp.o"
+  "CMakeFiles/malnet_util.dir/stats.cpp.o.d"
+  "CMakeFiles/malnet_util.dir/str.cpp.o"
+  "CMakeFiles/malnet_util.dir/str.cpp.o.d"
+  "libmalnet_util.a"
+  "libmalnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnet_vulndb.dir/vulndb.cpp.o"
+  "CMakeFiles/malnet_vulndb.dir/vulndb.cpp.o.d"
+  "libmalnet_vulndb.a"
+  "libmalnet_vulndb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnet_vulndb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

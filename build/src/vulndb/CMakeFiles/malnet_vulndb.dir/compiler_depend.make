@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for malnet_vulndb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_botnet.dir/test_botnet.cpp.o"
+  "CMakeFiles/test_botnet.dir/test_botnet.cpp.o.d"
+  "test_botnet"
+  "test_botnet.pdb"
+  "test_botnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_botnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_botnet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/malnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/malnet_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/malnet_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/botnet/CMakeFiles/malnet_botnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/mal/CMakeFiles/malnet_mal.dir/DependInfo.cmake"
+  "/root/repo/build/src/vulndb/CMakeFiles/malnet_vulndb.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/malnet_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/inetsim/CMakeFiles/malnet_inetsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/malnet_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/asdb/CMakeFiles/malnet_asdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/intel/CMakeFiles/malnet_intel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ids/CMakeFiles/malnet_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/malnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/malnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/malnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inetsim.dir/test_inetsim.cpp.o"
+  "CMakeFiles/test_inetsim.dir/test_inetsim.cpp.o.d"
+  "test_inetsim"
+  "test_inetsim.pdb"
+  "test_inetsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inetsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

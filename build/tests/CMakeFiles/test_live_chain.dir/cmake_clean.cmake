@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_live_chain.dir/test_live_chain.cpp.o"
+  "CMakeFiles/test_live_chain.dir/test_live_chain.cpp.o.d"
+  "test_live_chain"
+  "test_live_chain.pdb"
+  "test_live_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_live_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

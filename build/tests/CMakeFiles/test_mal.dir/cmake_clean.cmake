@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mal.dir/test_mal.cpp.o"
+  "CMakeFiles/test_mal.dir/test_mal.cpp.o.d"
+  "test_mal"
+  "test_mal.pdb"
+  "test_mal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vulndb.dir/test_vulndb.cpp.o"
+  "CMakeFiles/test_vulndb.dir/test_vulndb.cpp.o.d"
+  "test_vulndb"
+  "test_vulndb.pdb"
+  "test_vulndb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vulndb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util_bytes[1]_include.cmake")
+include("/root/repo/build/tests/test_util_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_util_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_dns[1]_include.cmake")
+include("/root/repo/build/tests/test_asdb[1]_include.cmake")
+include("/root/repo/build/tests/test_inetsim[1]_include.cmake")
+include("/root/repo/build/tests/test_ids[1]_include.cmake")
+include("/root/repo/build/tests/test_vulndb[1]_include.cmake")
+include("/root/repo/build/tests/test_proto[1]_include.cmake")
+include("/root/repo/build/tests/test_mal[1]_include.cmake")
+include("/root/repo/build/tests/test_botnet[1]_include.cmake")
+include("/root/repo/build/tests/test_emu[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_live_chain[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_seed_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")

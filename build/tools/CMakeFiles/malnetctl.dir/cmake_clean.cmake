@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malnetctl.dir/malnetctl.cpp.o"
+  "CMakeFiles/malnetctl.dir/malnetctl.cpp.o.d"
+  "malnetctl"
+  "malnetctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malnetctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

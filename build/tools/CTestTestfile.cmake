@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(malnetctl_forge_inspect "/usr/bin/cmake" "-DCTL=/root/repo/build/tools/malnetctl" "-P" "/root/repo/tools/smoke_test.cmake")
+set_tests_properties(malnetctl_forge_inspect PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
