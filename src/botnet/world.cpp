@@ -55,6 +55,14 @@ std::string default_bot_id(proto::Family f, util::Rng& rng) {
   return proto::to_string(f) + ".mips." + std::to_string(rng.uniform(100, 999));
 }
 
+/// Near-even partition of `value` items across `shards`: shard `index`'s
+/// share. Shares sum to `value` exactly; shards==1 returns `value`.
+int shard_share(int value, int shards, int index) {
+  const auto lo = static_cast<std::int64_t>(value) * index / shards;
+  const auto hi = static_cast<std::int64_t>(value) * (index + 1) / shards;
+  return static_cast<int>(hi - lo);
+}
+
 }  // namespace
 
 World::World(sim::Network& net, WorldConfig cfg)
@@ -62,6 +70,10 @@ World::World(sim::Network& net, WorldConfig cfg)
   if (cfg_.total_samples <= 0) throw std::invalid_argument("World: no samples");
   if (cfg_.family_weights.size() != proto::kFamilyCount) {
     throw std::invalid_argument("World: family_weights size mismatch");
+  }
+  if (cfg_.shard_count < 1 || cfg_.shard_index < 0 ||
+      cfg_.shard_index >= cfg_.shard_count) {
+    throw std::invalid_argument("World: bad shard_count/shard_index");
   }
   util::Rng rng(cfg_.seed, util::fnv1a64("world"));
 
@@ -122,10 +134,15 @@ void World::plan_c2_population(util::Rng& rng) {
                                         0.06,  0.09,  0.055, 0.035, 0.06};
 
   // C2 births per week track sample volume; roughly 0.8 C2 per sample slot
-  // (sharing brings distinct addresses below sample count).
+  // (sharing brings distinct addresses below sample count). Birth slots are
+  // numbered across the whole study; a shard materializes only its
+  // interleaved share.
+  int birth_slot = 0;
   for (std::size_t w = 0; w < weeks.size(); ++w) {
     const int births = std::max(1, static_cast<int>(volume[w] * 1.08));
     for (int b = 0; b < births; ++b) {
+      const int slot = birth_slot++;
+      if (slot % cfg_.shard_count != cfg_.shard_index) continue;
       PlannedC2 c2;
       c2.birth_day = weeks[w] + static_cast<std::int64_t>(rng.uniform(0, 6));
 
@@ -172,9 +189,11 @@ void World::plan_c2_population(util::Rng& rng) {
                         ? net::Port{23}
                         : rng.pick(c2_port_pool());
 
-      // DNS-fronted minority.
+      // DNS-fronted minority. The global birth slot keys the name so sibling
+      // shards can never mint the same domain (equals c2s_.size() when
+      // unsharded).
       if (rng.chance(cfg_.dns_c2_fraction)) {
-        c2.cfg.domain = "cnc" + std::to_string(c2s_.size()) + ".bot-net" +
+        c2.cfg.domain = "cnc" + std::to_string(slot) + ".bot-net" +
                         std::to_string(rng.uniform(0, 99)) + ".com";
         c2.address = *c2.cfg.domain;
       } else {
@@ -212,9 +231,12 @@ void World::plan_attacks(util::Rng& rng) {
     proto::Family family;
     int c2s;
   };
-  const std::vector<Quota> quotas{{proto::Family::kMirai, 8},
-                                  {proto::Family::kGafgyt, 3},
-                                  {proto::Family::kDaddyl33t, 6}};
+  // Each shard fields its near-even share of the 17-server attacker fleet.
+  const std::vector<Quota> quotas{
+      {proto::Family::kMirai, shard_share(8, cfg_.shard_count, cfg_.shard_index)},
+      {proto::Family::kGafgyt, shard_share(3, cfg_.shard_count, cfg_.shard_index)},
+      {proto::Family::kDaddyl33t,
+       shard_share(6, cfg_.shard_count, cfg_.shard_index)}};
 
   // Victim pool per §5.3: ISPs 45%, hosting 36%, business the rest; VSE and
   // NFO go to gaming infrastructure.
@@ -258,7 +280,10 @@ void World::plan_attacks(util::Rng& rng) {
     return {asdb_.random_ip_in(asn, rng), port};
   };
 
-  int made = 0;
+  // `made` drives the time-spread stride and the 3-vs-2 command plan size;
+  // start it at this shard's global fleet offset so the merged command
+  // total stays close to the unsharded study's (~42).
+  int made = static_cast<int>(17LL * cfg_.shard_index / cfg_.shard_count);
   for (const auto& quota : quotas) {
     int assigned = 0;
     // Spread attacker C2s across the study; pick matching-family C2s.
@@ -333,9 +358,12 @@ void World::plan_samples(util::Rng& rng) {
     vuln_window[vi] = {start, start + 42};
   }
 
-  // Dedicated (non-C2) downloader pool — the minority of §3.1.
+  // Dedicated (non-C2) downloader pool — the minority of §3.1 — split
+  // across shards (floor of one so the fallback pick below never starves).
+  const int dl_pool =
+      std::max(1, shard_share(8, cfg_.shard_count, cfg_.shard_index));
   std::vector<net::Ipv4> dedicated_dl;
-  for (int i = 0; i < 8; ++i) {
+  for (int i = 0; i < dl_pool; ++i) {
     const auto& all = asdb_.all();
     const auto& as = all[static_cast<std::size_t>(rng.uniform(0, all.size() - 1))];
     dedicated_dl.push_back(asdb_.random_ip_in(as.asn, rng));
@@ -378,7 +406,8 @@ void World::plan_samples(util::Rng& rng) {
     for (std::size_t i = 0; i < c2s_.size(); ++i) {
       if (c2s_[i].attacker) attacker_idx.push_back(i);
     }
-    int budget = cfg_.attacker_sample_count;
+    int budget = shard_share(cfg_.attacker_sample_count, cfg_.shard_count,
+                             cfg_.shard_index);
     for (std::size_t k = 0; k < attacker_idx.size() && budget > 0; ++k, --budget) {
       const std::size_t idx = attacker_idx[k];
       for (std::size_t w = 0; w < weeks.size(); ++w) {
@@ -405,9 +434,12 @@ void World::plan_samples(util::Rng& rng) {
 
   std::set<std::size_t> attacker_seen;
   std::vector<std::string> recent_downloaders;
+  // `total` counts the *study-wide* sample slots so every shard walks the
+  // same weekly layout; this shard only materializes its interleaved share.
   int total = 0;
   for (std::size_t w = 0; w < weeks.size() && total < cfg_.total_samples; ++w) {
     for (int s = 0; s < volume[w] && total < cfg_.total_samples; ++s, ++total) {
+      if (total % cfg_.shard_count != cfg_.shard_index) continue;
       PlannedSample sample;
       // P2P share first; centralised samples inherit the family of the C2
       // they are built for (a Gafgyt binary talks to a Gafgyt server).
@@ -597,7 +629,9 @@ void World::plan_samples(util::Rng& rng) {
 
   // Feed noise: the public feeds also surface ARM/x86 builds of the same
   // families; the paper's pipeline discards them at the architecture gate.
-  const int extra = static_cast<int>(cfg_.total_samples * cfg_.non_mips_extra_fraction);
+  const int extra = shard_share(
+      static_cast<int>(cfg_.total_samples * cfg_.non_mips_extra_fraction),
+      cfg_.shard_count, cfg_.shard_index);
   for (int i = 0; i < extra; ++i) {
     PlannedSample decoy;
     mal::MbfBinary content;

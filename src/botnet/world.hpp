@@ -113,6 +113,17 @@ struct WorldConfig {
   // only MIPS-32, §2.2). These ride on top of total_samples and must be
   // filtered out by the pipeline's architecture gate.
   double non_mips_extra_fraction = 0.06;
+
+  // Seed-sharded parallel studies (core::ParallelStudy): this world plans
+  // only its shard's interleaved slice of the study population — sample
+  // slot / C2 birth slot j is materialized iff j % shard_count ==
+  // shard_index, and count-valued quotas (attackers, decoys) take their
+  // near-even share — so the union over all shards covers every slot of the
+  // full plan exactly once and keeps its weekly temporal shape. The default
+  // (1, 0) plans the whole study and is bit-identical to the pre-sharding
+  // planner.
+  int shard_count = 1;
+  int shard_index = 0;
 };
 
 /// Week layout of the study (Appendix E): 31 active weeks with gaps.

@@ -1,0 +1,139 @@
+#include "core/parallel_study.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#include "net/ipv4.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace malnet::core {
+
+namespace {
+
+/// Sorted union of two ascending day lists.
+std::vector<std::int64_t> union_days(const std::vector<std::int64_t>& a,
+                                     const std::vector<std::int64_t>& b) {
+  std::vector<std::int64_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Folds `src` into `dst` for the same C2 address observed by two shards
+/// (rare — sibling worlds draw from the same AS address pools, so dotted
+/// quads can collide). The earlier discovery keeps the identity fields.
+void merge_c2(C2Record& dst, const C2Record& src) {
+  if (src.discovery_day < dst.discovery_day) {
+    dst.is_dns = src.is_dns;
+    dst.ip = src.ip;
+    dst.port = src.port;
+    dst.asn = src.asn;
+    dst.as_country = src.as_country;
+    dst.discovery_day = src.discovery_day;
+  }
+  dst.referred_days = union_days(dst.referred_days, src.referred_days);
+  dst.live_days = union_days(dst.live_days, src.live_days);
+  dst.distinct_samples += src.distinct_samples;
+  dst.vt_vendors_same_day = std::max(dst.vt_vendors_same_day, src.vt_vendors_same_day);
+  dst.vt_malicious_same_day = dst.vt_vendors_same_day > 0;
+  dst.vt_malicious_requery = dst.vt_malicious_requery || src.vt_malicious_requery;
+  dst.is_downloader = dst.is_downloader || src.is_downloader;
+}
+
+template <typename T>
+void append(std::vector<T>& dst, std::vector<T>&& src) {
+  dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+             std::make_move_iterator(src.end()));
+}
+
+}  // namespace
+
+std::uint64_t shard_seed(std::uint64_t base_seed, int shards, int index) {
+  if (shards < 1 || index < 0 || index >= shards) {
+    throw std::invalid_argument("shard_seed: bad shards/index");
+  }
+  if (shards == 1) return base_seed;
+  std::uint64_t state = base_seed;
+  std::uint64_t derived = 0;
+  for (int i = 0; i <= index; ++i) derived = util::splitmix64(state);
+  return derived;
+}
+
+PipelineConfig shard_config(const PipelineConfig& base, int shards, int index) {
+  if (shards < 1 || index < 0 || index >= shards) {
+    throw std::invalid_argument("shard_config: bad shards/index");
+  }
+  PipelineConfig cfg = base;
+  cfg.seed = shard_seed(base.seed, shards, index);
+  cfg.world.shard_count = shards;
+  cfg.world.shard_index = index;
+  if (index != 0) cfg.run_probe_campaign = false;
+  return cfg;
+}
+
+StudyResults merge_study_results(std::vector<StudyResults> parts) {
+  if (parts.empty()) throw std::invalid_argument("merge_study_results: no shards");
+  StudyResults merged = std::move(parts.front());
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    StudyResults& p = parts[i];
+    append(merged.d_samples, std::move(p.d_samples));
+    append(merged.d_exploits, std::move(p.d_exploits));
+    append(merged.d_ddos, std::move(p.d_ddos));
+    for (auto& [addr, rec] : p.d_c2s) {
+      auto [it, inserted] = merged.d_c2s.try_emplace(addr, std::move(rec));
+      if (!inserted) merge_c2(it->second, rec);
+    }
+    merged.downloader_hosts.insert(p.downloader_hosts.begin(),
+                                   p.downloader_hosts.end());
+    // d_pc2 stays shard 0's: only that shard runs the probe campaign.
+    merged.truth_commands_issued += p.truth_commands_issued;
+    merged.truth_planned_c2s += p.truth_planned_c2s;
+    merged.sandbox_runs += p.sandbox_runs;
+    merged.sim_events += p.sim_events;
+    merged.non_mips_skipped += p.non_mips_skipped;
+  }
+  // A downloader observed by one shard may collide with a C2 address
+  // discovered by another; refresh the cross-shard co-hosting flag.
+  for (auto& [addr, rec] : merged.d_c2s) {
+    rec.is_downloader = rec.is_downloader ||
+                        merged.downloader_hosts.count(net::to_string(rec.ip)) > 0 ||
+                        merged.downloader_hosts.count(addr) > 0;
+  }
+  return merged;
+}
+
+ParallelStudy::ParallelStudy(ParallelStudyConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.shards < 1) throw std::invalid_argument("ParallelStudy: shards must be >= 1");
+  if (cfg_.jobs < 0) throw std::invalid_argument("ParallelStudy: jobs must be >= 0");
+}
+
+StudyResults ParallelStudy::run() {
+  if (ran_) throw std::logic_error("ParallelStudy::run: already ran");
+  ran_ = true;
+
+  const auto shards = static_cast<std::size_t>(cfg_.shards);
+  std::size_t jobs = cfg_.jobs > 0 ? static_cast<std::size_t>(cfg_.jobs)
+                                   : util::ThreadPool::default_worker_count();
+  jobs = std::min(jobs, shards);
+
+  util::log_line(util::LogLevel::kInfo, "parallel",
+                 "running " + std::to_string(shards) + " shard(s) on " +
+                     std::to_string(jobs) + " worker(s)");
+
+  // Results land in per-shard slots, so scheduling order is irrelevant to
+  // the merge below.
+  std::vector<StudyResults> parts(shards);
+  util::ThreadPool pool(jobs);
+  util::parallel_for(pool, shards, [this, &parts](std::size_t i) {
+    Pipeline pipeline(shard_config(cfg_.base, cfg_.shards, static_cast<int>(i)));
+    parts[i] = pipeline.run();
+  });
+  return merge_study_results(std::move(parts));
+}
+
+}  // namespace malnet::core

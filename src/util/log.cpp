@@ -1,6 +1,7 @@
 #include "util/log.hpp"
 
 #include <iostream>
+#include <mutex>
 
 namespace malnet::util {
 
@@ -23,6 +24,9 @@ LogLevel log_level() { return g_level; }
 
 void log_line(LogLevel level, std::string_view component, std::string_view message) {
   if (level < g_level) return;
+  // Parallel shard pipelines log concurrently; serialize whole lines.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
   std::cerr << '[' << name(level) << "] " << component << ": " << message << '\n';
 }
 

@@ -1,0 +1,62 @@
+// A fixed-size worker pool for coarse-grained, CPU-bound jobs.
+//
+// The simulation itself is strictly single-threaded and deterministic; the
+// pool exists for the layer *above* it — running many independent
+// simulations (seed shards, ablation sweeps) concurrently. Determinism is
+// preserved by construction: workers never share mutable state, and callers
+// collect results into pre-sized slots indexed by job id, so the merged
+// output is independent of scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace malnet::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1; pass default_worker_count() to
+  /// match the hardware).
+  explicit ThreadPool(std::size_t workers);
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Jobs must not throw out of the callable; wrap and
+  /// capture (parallel_for below does this for you).
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished and the queue is empty.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to return 0 on exotic platforms).
+  [[nodiscard]] static std::size_t default_worker_count();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled when a job is queued / stopping
+  std::condition_variable idle_cv_;   // signalled when a job finishes
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(0), fn(1), ..., fn(n-1) on the pool and blocks until all are
+/// done. The first exception thrown by any job (in job-index order) is
+/// rethrown on the calling thread after every job has finished.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace malnet::util

@@ -1,10 +1,14 @@
-// Tests for str, stats, simtime and csv helpers.
+// Tests for str, stats, simtime, csv and thread-pool helpers.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
 
 #include "util/csv.hpp"
 #include "util/simtime.hpp"
 #include "util/stats.hpp"
 #include "util/str.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace malnet::util;
 
@@ -202,4 +206,50 @@ TEST(Cdf, QuantileAtZeroIsSmallestSample) {
   for (double x : {5.0, 1.0, 9.0}) c.add(x);
   EXPECT_DOUBLE_EQ(c.quantile(0.0), 1.0);
   EXPECT_DOUBLE_EQ(c.quantile(1e-9), 1.0);
+}
+
+// --- thread_pool -------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "job " << i;
+  }
+}
+
+TEST(ThreadPool, WaitIdleDrainsTheQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&done] { ++done; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 32);
+  // The pool stays usable after an idle wait.
+  pool.submit([&done] { ++done; });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 33);
+}
+
+TEST(ThreadPool, ParallelForRethrowsTheFirstError) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  try {
+    parallel_for(pool, 16, [&](std::size_t i) {
+      ++ran;
+      if (i == 5 || i == 11) throw std::runtime_error("job " + std::to_string(i));
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job 5");  // lowest job index wins, deterministically
+  }
+  EXPECT_EQ(ran.load(), 16) << "a failed job must not cancel its siblings";
+}
+
+TEST(ThreadPool, ZeroWorkersClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  EXPECT_GE(ThreadPool::default_worker_count(), 1u);
 }

@@ -3,7 +3,8 @@
 //   malnetctl forge   --family <name> --c2 <ip:port> [--vuln <cve>] --out <file.mbf>
 //   malnetctl inspect <file.mbf>
 //   malnetctl analyze <file.mbf> [--pcap <out.pcap>]
-//   malnetctl study   [--samples N] [--seed N] [--no-probe] [--claims]
+//   malnetctl study   [--samples N] [--seed N] [--shards N] [--jobs N]
+//                     [--no-probe] [--claims]
 //   malnetctl export-rules [--samples N] [--seed N] --out <file.rules>
 //
 // `forge` produces the same inert MBF artifacts the test corpus uses;
@@ -16,8 +17,10 @@
 #include <string>
 #include <vector>
 
+#include "asdb/asdb.hpp"
 #include "core/c2detect.hpp"
 #include "core/exploit_id.hpp"
+#include "core/parallel_study.hpp"
 #include "core/pipeline.hpp"
 #include "emu/sandbox.hpp"
 #include "mal/binary.hpp"
@@ -42,8 +45,11 @@ using namespace malnet;
       "        [--seed N] --out <file.mbf>\n"
       "  inspect <file.mbf>\n"
       "  analyze <file.mbf> [--pcap <out.pcap>]\n"
-      "  study [--samples N] [--seed N] [--no-probe] [--claims]\n"
-      "        [--save-datasets <file.mds>]\n"
+      "  study [--samples N] [--seed N] [--shards N] [--jobs N] [--no-probe]\n"
+      "        [--claims] [--save-datasets <file.mds>]\n"
+      "        (--shards splits the study into N deterministic seed shards;\n"
+      "         --jobs bounds worker threads and never changes the output.\n"
+      "         --jobs alone implies --shards equal to the job count.)\n"
       "  report <file.mds>   (re-render tables from a saved dataset artifact)\n"
       "  dossier <file.mds> <c2-address|sample-sha>\n"
       "  digest <file.mds> [--week N]\n"
@@ -213,31 +219,34 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
-core::StudyResults run_study(const Args& args, core::Pipeline** out_pipeline) {
-  core::PipelineConfig cfg;
-  cfg.seed = std::stoull(args.get("seed", "22"));
-  if (args.has("samples")) cfg.world.total_samples = std::stoi(args.get("samples"));
-  if (args.has("no-probe")) cfg.run_probe_campaign = false;
-  static core::Pipeline pipeline(cfg);
-  *out_pipeline = &pipeline;
-  return pipeline.run();
+core::StudyResults run_study(const Args& args) {
+  core::ParallelStudyConfig cfg;
+  cfg.base.seed = std::stoull(args.get("seed", "22"));
+  if (args.has("samples")) cfg.base.world.total_samples = std::stoi(args.get("samples"));
+  if (args.has("no-probe")) cfg.base.run_probe_campaign = false;
+  cfg.jobs = std::stoi(args.get("jobs", "0"));
+  // --jobs alone still parallelizes: the study splits into one shard per job.
+  cfg.shards = std::stoi(args.get("shards", cfg.jobs > 0 ? args.get("jobs") : "1"));
+  return core::ParallelStudy(cfg).run();
 }
 
 int cmd_study(const Args& args) {
   util::set_log_level(util::LogLevel::kInfo);
-  core::Pipeline* pipeline = nullptr;
-  const auto results = run_study(args, &pipeline);
+  const auto results = run_study(args);
   util::set_log_level(util::LogLevel::kOff);
   if (args.has("save-datasets")) {
     report::save_datasets(results, args.get("save-datasets"));
     std::cout << "datasets saved to " << args.get("save-datasets") << "\n";
   }
+  // Every world copies the one standard AS database, so report rendering
+  // does not need the (possibly sharded, already destroyed) pipelines.
+  const auto asdb = asdb::AsDatabase::standard();
   if (args.has("claims")) {
-    std::cout << report::render_claims(report::check_claims(results, pipeline->asdb()));
+    std::cout << report::render_claims(report::check_claims(results, asdb));
   } else {
     std::cout << report::table1_datasets(results) << '\n'
               << report::table3_ti_miss(results) << '\n'
-              << report::figure11_ddos_types(results, pipeline->asdb());
+              << report::figure11_ddos_types(results, asdb);
   }
   return 0;
 }
@@ -291,8 +300,7 @@ int cmd_digest(const Args& args) {
 }
 
 int cmd_export_rules(const Args& args) {
-  core::Pipeline* pipeline = nullptr;
-  const auto results = run_study(args, &pipeline);
+  const auto results = run_study(args);
   const auto rules = report::export_snort_rules(results);
   (void)report::compile_exported_rules(results);  // self-check before shipping
   const auto out = args.get("out", "malnet.rules");

@@ -29,3 +29,22 @@ execute_process(COMMAND ${CTL} report smoke.mds
 if(NOT rc EQUAL 0 OR NOT out MATCHES "D-Samples   60")
   message(FATAL_ERROR "report failed: ${out}")
 endif()
+
+# Seed-sharded parallel execution: the same study split over 2 shards must
+# still analyse every sample, and the merged datasets must feed the report
+# path end-to-end.
+execute_process(COMMAND ${CTL} study --samples 60 --no-probe --jobs 2
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "D-Samples   60")
+  message(FATAL_ERROR "sharded study failed: ${out}${err}")
+endif()
+
+# The quickstart example is the README's first command; it must keep
+# running end-to-end.
+if(DEFINED QUICKSTART)
+  execute_process(COMMAND ${QUICKSTART}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "quickstart failed: ${out}${err}")
+  endif()
+endif()
