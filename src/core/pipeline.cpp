@@ -18,6 +18,7 @@ Pipeline::Pipeline(PipelineConfig cfg) : cfg_(std::move(cfg)) {
   sched_ = std::make_unique<sim::EventScheduler>();
   sim::NetworkConfig nc;
   nc.seed = cfg_.seed;
+  nc.loss = cfg_.loss;
   net_ = std::make_unique<sim::Network>(*sched_, nc);
 
   botnet::WorldConfig wc = cfg_.world;

@@ -90,6 +90,10 @@ struct DdosRecord {
 struct PipelineConfig {
   std::uint64_t seed = 22;
   botnet::WorldConfig world{};
+  /// Per-packet drop probability of the simulated internet, in [0, 1).
+  /// Zero keeps flows lossless (the default study setting); raising it
+  /// degrades every observation channel at once.
+  double loss = 0.0;
   sim::Duration observe_duration = sim::Duration::minutes(8);
   sim::Duration live_duration = sim::Duration::hours(2);
   sim::Duration probe_duration = sim::Duration::seconds(90);

@@ -1,0 +1,98 @@
+#include "testkit/check.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+
+#include "util/str.hpp"
+
+namespace malnet::testkit {
+
+namespace {
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return std::nullopt;
+  return util::parse_u64(v);
+}
+
+}  // namespace
+
+CheckConfig CheckConfig::with_env_overrides() const {
+  CheckConfig out = *this;
+  if (!env_overrides) return out;
+  if (const auto s = env_u64("MALNET_CHECK_SEED")) out.seed = *s;
+  if (const auto c = env_u64("MALNET_FUZZ_CASES")) {
+    // Cap so a typo cannot turn the CI smoke step into an hours-long run.
+    out.cases = static_cast<int>(std::min<std::uint64_t>(*c, 1'000'000));
+  }
+  return out;
+}
+
+std::string CheckResult::summary() const {
+  if (ok) return {};
+  std::ostringstream os;
+  os << "property failed at case " << failing_case << "/" << cases_run
+     << " (seed=" << seed << "; rerun with MALNET_CHECK_SEED=" << seed << ")\n";
+  if (!message.empty()) os << "  " << message << "\n";
+  os << "  counterexample (after " << shrink_steps
+     << " shrink steps): " << counterexample << "\n";
+  if (original != counterexample) os << "  original input: " << original << "\n";
+  return os.str();
+}
+
+namespace detail {
+
+std::string describe(const util::Bytes& v) {
+  std::string out = "len=" + std::to_string(v.size());
+  if (!v.empty()) out += " hex=" + util::to_hex(v);
+  return out;
+}
+
+std::string describe(const std::string& v) {
+  std::string out = "\"";
+  for (const char c : v) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c >= 0x20 && c < 0x7F) {
+      out += c;
+    } else {
+      static constexpr char kHex[] = "0123456789abcdef";
+      out += "\\x";
+      out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+      out += kHex[static_cast<unsigned char>(c) & 0xF];
+    }
+  }
+  out += "\" (len=" + std::to_string(v.size()) + ")";
+  return out;
+}
+
+void report_failure(const CheckResult& r, const std::string& name) {
+  std::cerr << "[testkit] " << (name.empty() ? "check" : name) << ": "
+            << r.summary();
+}
+
+}  // namespace detail
+
+CheckResult check_each(const std::vector<util::Bytes>& inputs,
+                       const std::function<bool(util::BytesView)>& prop,
+                       std::string name) {
+  CheckResult result;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    ++result.cases_run;
+    std::string message;
+    if (detail::holds(prop, inputs[i], &message)) continue;
+    result.ok = false;
+    result.failing_case = static_cast<int>(i);
+    result.message = message;
+    result.original = detail::describe(inputs[i]);
+    result.counterexample = result.original;
+    detail::report_failure(result, name);
+    return result;
+  }
+  return result;
+}
+
+}  // namespace malnet::testkit

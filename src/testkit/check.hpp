@@ -1,0 +1,164 @@
+// The property runner: check(gen, prop, cfg) draws cfg.cases inputs from
+// `gen` under a deterministic seed, evaluates the property on each, and on
+// the first failure shrinks the input to a (locally) minimal counterexample
+// via Shrink<T>.
+//
+// Reproducibility contract: every case i is generated from
+// util::Rng(cfg.seed, 2 * i + 1), so re-running the same check with the
+// same seed regenerates the identical input sequence byte-for-byte — the
+// printed "seed=… case=…" line is a complete repro recipe. Seed and case
+// count can be overridden without recompiling via the MALNET_CHECK_SEED and
+// MALNET_FUZZ_CASES environment variables (the CI fuzz-smoke step uses
+// these to pin a fixed seed and a bounded case count).
+//
+// A property is any callable T -> bool; returning false or throwing any
+// exception counts as a failure (the exception text is captured).
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "testkit/gen.hpp"
+#include "testkit/shrink.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace malnet::testkit {
+
+struct CheckConfig {
+  /// Base seed for the whole run. The default is arbitrary but fixed;
+  /// MALNET_CHECK_SEED overrides it.
+  std::uint64_t seed = 0x6d616c746b69ULL;  // "maltki"
+  /// Cases to run; MALNET_FUZZ_CASES overrides (capped, see check.cpp).
+  int cases = 500;
+  /// Safety bound on greedy shrink iterations.
+  int max_shrink_steps = 10'000;
+  std::string name;  // label used in the printed failure report
+  /// Honour MALNET_CHECK_SEED / MALNET_FUZZ_CASES. Tests of the harness
+  /// itself pin this off so ambient overrides cannot change their fixtures.
+  bool env_overrides = true;
+
+  /// Applies MALNET_CHECK_SEED / MALNET_FUZZ_CASES if set (and enabled).
+  [[nodiscard]] CheckConfig with_env_overrides() const;
+};
+
+struct CheckResult {
+  bool ok = true;
+  int cases_run = 0;
+  std::uint64_t seed = 0;       // seed the run used (repro: set MALNET_CHECK_SEED)
+  int failing_case = -1;        // index of the first failing case
+  std::string counterexample;   // printed form of the shrunk failing input
+  std::string original;         // printed form of the unshrunk failing input
+  int shrink_steps = 0;
+  std::string message;          // exception text, if the property threw
+
+  /// One-paragraph failure report (empty string when ok).
+  [[nodiscard]] std::string summary() const;
+};
+
+namespace detail {
+
+/// Renders a value for the failure report. Bytes render as "len=N hex=…",
+/// strings as escaped quotes, streamables via operator<<.
+std::string describe(const util::Bytes& v);
+std::string describe(const std::string& v);
+
+template <typename T>
+std::string describe(const T& v) {
+  if constexpr (requires(std::ostringstream& os) { os << v; }) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  } else {
+    return "<" + std::string(typeid(T).name()) + ">";
+  }
+}
+
+template <typename T>
+std::string describe(const std::vector<T>& v) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ", ";
+    os << describe(v[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+/// Runs the property, mapping exceptions to failure + captured message.
+template <typename T, typename Prop>
+bool holds(const Prop& prop, const T& value, std::string* message) {
+  try {
+    return prop(value);
+  } catch (const std::exception& e) {
+    if (message) *message = std::string("threw: ") + e.what();
+    return false;
+  } catch (...) {
+    if (message) *message = "threw: <non-std exception>";
+    return false;
+  }
+}
+
+void report_failure(const CheckResult& r, const std::string& name);
+
+}  // namespace detail
+
+template <typename T, typename Prop>
+[[nodiscard]] CheckResult check(const Gen<T>& gen, Prop prop,
+                                CheckConfig cfg = {}) {
+  cfg = cfg.with_env_overrides();
+  CheckResult result;
+  result.seed = cfg.seed;
+
+  for (int i = 0; i < cfg.cases; ++i) {
+    // Stream 2i+1: odd streams keep the PCG increment derivation distinct
+    // from util code that forks streams by name, and index-keyed streams
+    // let a failing case be regenerated without replaying earlier cases.
+    util::Rng rng(cfg.seed, 2 * static_cast<std::uint64_t>(i) + 1);
+    T value = gen(rng);
+    ++result.cases_run;
+
+    std::string message;
+    if (detail::holds(prop, value, &message)) continue;
+
+    result.ok = false;
+    result.failing_case = i;
+    result.message = message;
+    result.original = detail::describe(value);
+
+    // Greedy shrink: take the first candidate that still fails, repeat.
+    bool progressed = true;
+    while (progressed && result.shrink_steps < cfg.max_shrink_steps) {
+      progressed = false;
+      for (auto& cand : Shrink<T>::candidates(value)) {
+        ++result.shrink_steps;
+        if (result.shrink_steps >= cfg.max_shrink_steps) break;
+        std::string shrink_msg;
+        if (!detail::holds(prop, cand, &shrink_msg)) {
+          value = std::move(cand);
+          result.message = shrink_msg.empty() ? result.message : shrink_msg;
+          progressed = true;
+          break;
+        }
+      }
+    }
+    result.counterexample = detail::describe(value);
+    detail::report_failure(result, cfg.name);
+    return result;
+  }
+  return result;
+}
+
+/// Bytes-in property over an explicit list of inputs (corpus entries,
+/// regression cases): no generation, but the same failure reporting.
+[[nodiscard]] CheckResult check_each(
+    const std::vector<util::Bytes>& inputs,
+    const std::function<bool(util::BytesView)>& prop, std::string name = {});
+
+}  // namespace malnet::testkit

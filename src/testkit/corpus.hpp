@@ -1,0 +1,41 @@
+// Seed-corpus access. The repository commits a small set of valid encoded
+// messages under tests/corpus/ (Mirai/Gafgyt/Daddyl33t commands, DNS
+// query/response, raw packets, a minimal pcap — regenerate with the
+// malnet_make_corpus tool). Fuzz tests mutate from these entries, so every
+// failure reproduces from a committed file plus a printed seed.
+//
+// Directory resolution: the MALNET_CORPUS_DIR environment variable if set,
+// else the compile-time default baked in by CMake (the source-tree path).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace malnet::testkit {
+
+struct CorpusEntry {
+  std::string name;  // file name, e.g. "mirai_attack.bin"
+  util::Bytes data;
+};
+
+/// The corpus directory (see resolution rules above).
+[[nodiscard]] std::string corpus_dir();
+
+/// All regular files in `dir`, sorted by name. Throws std::runtime_error if
+/// the directory is missing or empty — a silently-empty corpus would turn
+/// the fuzz suite into a no-op.
+[[nodiscard]] std::vector<CorpusEntry> load_corpus(const std::string& dir);
+
+/// load_corpus(corpus_dir()).
+[[nodiscard]] std::vector<CorpusEntry> load_default_corpus();
+
+/// One corpus file by name (relative to corpus_dir()). Throws if absent.
+[[nodiscard]] util::Bytes corpus_file(const std::string& name);
+
+/// Entries whose name starts with `prefix` ("mirai_", "dns_", ...), data
+/// only — the shape the mutation-fuzz drivers want.
+[[nodiscard]] std::vector<util::Bytes> corpus_inputs(const std::string& prefix);
+
+}  // namespace malnet::testkit

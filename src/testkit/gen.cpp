@@ -1,0 +1,50 @@
+#include "testkit/gen.hpp"
+
+#include <stdexcept>
+
+namespace malnet::testkit {
+
+Gen<std::uint8_t> any_byte() {
+  return Gen<std::uint8_t>([](util::Rng& rng) {
+    return static_cast<std::uint8_t>(rng.uniform(0, 0xFF));
+  });
+}
+
+Gen<util::Bytes> byte_strings(std::size_t min_len, std::size_t max_len) {
+  if (min_len > max_len) {
+    throw std::invalid_argument("testkit::byte_strings: min_len > max_len");
+  }
+  return Gen<util::Bytes>([min_len, max_len](util::Rng& rng) {
+    const auto n = static_cast<std::size_t>(rng.uniform(min_len, max_len));
+    util::Bytes out(n);
+    for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform(0, 0xFF));
+    return out;
+  });
+}
+
+Gen<std::string> ascii_strings(std::size_t min_len, std::size_t max_len,
+                               std::string alphabet) {
+  if (min_len > max_len) {
+    throw std::invalid_argument("testkit::ascii_strings: min_len > max_len");
+  }
+  if (alphabet.empty()) {
+    throw std::invalid_argument("testkit::ascii_strings: empty alphabet");
+  }
+  return Gen<std::string>([min_len, max_len,
+                           alphabet = std::move(alphabet)](util::Rng& rng) {
+    const auto n = static_cast<std::size_t>(rng.uniform(min_len, max_len));
+    std::string out(n, '\0');
+    for (auto& c : out) {
+      c = alphabet[static_cast<std::size_t>(rng.uniform(0, alphabet.size() - 1))];
+    }
+    return out;
+  });
+}
+
+Gen<std::string> raw_strings(std::size_t min_len, std::size_t max_len) {
+  return byte_strings(min_len, max_len).map([](const util::Bytes& b) {
+    return std::string(b.begin(), b.end());
+  });
+}
+
+}  // namespace malnet::testkit

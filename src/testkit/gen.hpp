@@ -1,0 +1,146 @@
+// Seeded generator combinators (`Gen<T>`) over util::Rng — the input half
+// of the property-testing harness. A Gen<T> is a pure recipe: given an Rng
+// it produces a T, so the same (seed, stream) always regenerates the same
+// value sequence and every failure reproduces from its printed seed.
+//
+// Primitive generators cover integers, bytes, byte strings and ASCII
+// strings; combinators (map, apply, one_of, weighted, vectors_of, pair_of)
+// compose them into structured records. See check.hpp for the runner.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace malnet::testkit {
+
+template <typename T>
+class Gen {
+ public:
+  using value_type = T;
+
+  explicit Gen(std::function<T(util::Rng&)> fn) : fn_(std::move(fn)) {}
+
+  [[nodiscard]] T operator()(util::Rng& rng) const { return fn_(rng); }
+
+  /// Post-processes generated values: Gen<T> -> Gen<U> via U f(T).
+  template <typename F>
+  [[nodiscard]] auto map(F f) const {
+    using U = std::invoke_result_t<F, T>;
+    return Gen<U>([self = *this, f = std::move(f)](util::Rng& rng) {
+      return f(self(rng));
+    });
+  }
+
+ private:
+  std::function<T(util::Rng&)> fn_;
+};
+
+/// Always yields `v`.
+template <typename T>
+[[nodiscard]] Gen<T> constant(T v) {
+  return Gen<T>([v = std::move(v)](util::Rng&) { return v; });
+}
+
+/// Uniform integer in [lo, hi] inclusive, for any integral type.
+template <typename T>
+[[nodiscard]] Gen<T> ints(T lo, T hi) {
+  static_assert(std::is_integral_v<T>);
+  return Gen<T>([lo, hi](util::Rng& rng) {
+    return static_cast<T>(rng.uniform_int(static_cast<std::int64_t>(lo),
+                                          static_cast<std::int64_t>(hi)));
+  });
+}
+
+/// One uniformly random byte.
+[[nodiscard]] Gen<std::uint8_t> any_byte();
+
+/// Uniformly random byte string with length in [min_len, max_len].
+[[nodiscard]] Gen<util::Bytes> byte_strings(std::size_t min_len,
+                                            std::size_t max_len);
+
+/// Random string over `alphabet` with length in [min_len, max_len].
+/// The default alphabet is printable-identifier-ish ASCII.
+[[nodiscard]] Gen<std::string> ascii_strings(
+    std::size_t min_len, std::size_t max_len,
+    std::string alphabet =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-");
+
+/// Random string of arbitrary (including non-printable) characters.
+[[nodiscard]] Gen<std::string> raw_strings(std::size_t min_len,
+                                           std::size_t max_len);
+
+/// Uniform pick from a fixed, non-empty list of values.
+template <typename T>
+[[nodiscard]] Gen<T> one_of(std::vector<T> choices) {
+  if (choices.empty()) throw std::invalid_argument("testkit::one_of: empty");
+  return Gen<T>([choices = std::move(choices)](util::Rng& rng) {
+    return rng.pick(choices);
+  });
+}
+
+/// Weighted pick: each candidate value carries a positive weight.
+template <typename T>
+[[nodiscard]] Gen<T> weighted(std::vector<std::pair<double, T>> choices) {
+  if (choices.empty()) throw std::invalid_argument("testkit::weighted: empty");
+  std::vector<double> weights;
+  weights.reserve(choices.size());
+  for (const auto& [w, _] : choices) weights.push_back(w);
+  return Gen<T>([choices = std::move(choices),
+                 weights = std::move(weights)](util::Rng& rng) {
+    return choices[rng.weighted(weights)].second;
+  });
+}
+
+/// Vector of `elem`-generated values with size in [min_len, max_len].
+template <typename T>
+[[nodiscard]] Gen<std::vector<T>> vectors_of(Gen<T> elem, std::size_t min_len,
+                                             std::size_t max_len) {
+  return Gen<std::vector<T>>([elem = std::move(elem), min_len,
+                              max_len](util::Rng& rng) {
+    const auto n = static_cast<std::size_t>(rng.uniform(min_len, max_len));
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(elem(rng));
+    return out;
+  });
+}
+
+template <typename A, typename B>
+[[nodiscard]] Gen<std::pair<A, B>> pair_of(Gen<A> a, Gen<B> b) {
+  return Gen<std::pair<A, B>>(
+      [a = std::move(a), b = std::move(b)](util::Rng& rng) {
+        // Sequence the draws explicitly: evaluation order inside a braced
+        // initializer would be fine, but inside make_pair it is unspecified.
+        A av = a(rng);
+        B bv = b(rng);
+        return std::pair<A, B>{std::move(av), std::move(bv)};
+      });
+}
+
+/// Structured-record builder: draws one value from each generator, in
+/// argument order, and applies `f` to them. The workhorse for generating
+/// AttackCommands, DNS messages, packets, ...
+template <typename F, typename... Gs>
+[[nodiscard]] auto apply(F f, Gs... gens) {
+  using T = std::invoke_result_t<F, typename Gs::value_type...>;
+  return Gen<T>([f = std::move(f),
+                 gens = std::make_tuple(std::move(gens)...)](util::Rng& rng) {
+    // Draw left-to-right so generation order matches argument order.
+    auto values = std::apply(
+        [&rng](const auto&... g) {
+          return std::tuple<typename std::decay_t<decltype(g)>::value_type...>{
+              g(rng)...};
+        },
+        gens);
+    return std::apply(f, std::move(values));
+  });
+}
+
+}  // namespace malnet::testkit

@@ -1,0 +1,142 @@
+#include "testkit/mutate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace malnet::testkit {
+
+namespace {
+
+std::uint64_t read_be(util::BytesView data, std::size_t off, int width) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i) v = (v << 8) | data[off + static_cast<std::size_t>(i)];
+  return v;
+}
+
+void write_be(util::Bytes& data, std::size_t off, int width, std::uint64_t v) {
+  for (int i = width - 1; i >= 0; --i) {
+    data[off + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v);
+    v >>= 8;
+  }
+}
+
+}  // namespace
+
+std::vector<LengthField> find_length_fields(util::BytesView data) {
+  std::vector<LengthField> out;
+  for (std::size_t off = 0; off < data.size(); ++off) {
+    for (const int width : {2, 4, 1}) {
+      if (off + static_cast<std::size_t>(width) > data.size()) continue;
+      const std::uint64_t v = read_be(data, off, width);
+      const std::size_t after = data.size() - off - static_cast<std::size_t>(width);
+      // A zero "length" matches everywhere and carries no structure; a value
+      // larger than the rest of the buffer cannot be a satisfied length.
+      if (v == 0 || v > after) continue;
+      out.push_back(LengthField{off, width, v});
+      break;  // widest plausible interpretation wins at this offset
+    }
+  }
+  return out;
+}
+
+Mutator::Mutator(MutatorConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.weights.size() != 6) {
+    throw std::invalid_argument("Mutator: expected 6 mutation weights");
+  }
+  if (cfg_.min_mutations < 1 || cfg_.max_mutations < cfg_.min_mutations) {
+    throw std::invalid_argument("Mutator: bad mutation count range");
+  }
+}
+
+util::Bytes Mutator::flip_bit(util::BytesView in, util::Rng& rng) const {
+  util::Bytes out(in.begin(), in.end());
+  if (out.empty()) return out;
+  const auto pos = static_cast<std::size_t>(rng.uniform(0, out.size() - 1));
+  out[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform(0, 7));
+  return out;
+}
+
+util::Bytes Mutator::set_byte(util::BytesView in, util::Rng& rng) const {
+  util::Bytes out(in.begin(), in.end());
+  if (out.empty()) return out;
+  const auto pos = static_cast<std::size_t>(rng.uniform(0, out.size() - 1));
+  // Boundary bytes dominate: 0x00/0xFF/0x7F/0x80 trip sign, terminator and
+  // magic-number assumptions far more often than uniform noise.
+  static constexpr std::uint8_t kBoundary[] = {0x00, 0x01, 0x7F, 0x80, 0xFF};
+  out[pos] = rng.chance(0.6)
+                 ? kBoundary[rng.uniform(0, std::size(kBoundary) - 1)]
+                 : static_cast<std::uint8_t>(rng.uniform(0, 0xFF));
+  return out;
+}
+
+util::Bytes Mutator::truncate(util::BytesView in, util::Rng& rng) const {
+  if (in.empty()) return {};
+  // Bias toward cutting near the end — off-by-one tails are the classic
+  // decoder bug — but allow arbitrary cuts, including to empty.
+  const std::size_t keep =
+      rng.chance(0.5) ? in.size() - 1 - rng.uniform(0, std::min<std::size_t>(3, in.size() - 1))
+                      : static_cast<std::size_t>(rng.uniform(0, in.size() - 1));
+  return util::Bytes(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(keep));
+}
+
+util::Bytes Mutator::extend(util::BytesView in, util::Rng& rng) const {
+  util::Bytes out(in.begin(), in.end());
+  const auto extra = static_cast<std::size_t>(rng.uniform(1, cfg_.max_grow));
+  for (std::size_t i = 0; i < extra; ++i) {
+    out.push_back(static_cast<std::uint8_t>(rng.uniform(0, 0xFF)));
+  }
+  return out;
+}
+
+util::Bytes Mutator::splice(util::BytesView in, util::Rng& rng) const {
+  if (in.size() < 2) return extend(in, rng);
+  // Duplicate a random slice of the input at a random insertion point:
+  // repeats records/options/labels while keeping byte content valid-looking.
+  const auto a = static_cast<std::size_t>(rng.uniform(0, in.size() - 1));
+  const auto b = static_cast<std::size_t>(rng.uniform(0, in.size() - 1));
+  const std::size_t lo = std::min(a, b), hi = std::max(a, b) + 1;
+  const auto at = static_cast<std::size_t>(rng.uniform(0, in.size()));
+  util::Bytes out(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(at));
+  out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(lo),
+             in.begin() + static_cast<std::ptrdiff_t>(hi));
+  out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(at), in.end());
+  return out;
+}
+
+util::Bytes Mutator::corrupt_length(util::BytesView in, util::Rng& rng) const {
+  const auto fields = find_length_fields(in);
+  if (fields.empty()) return set_byte(in, rng);
+  const auto& f = fields[static_cast<std::size_t>(rng.uniform(0, fields.size() - 1))];
+  const std::uint64_t all_ones = (1ULL << (8 * f.width)) - 1;
+  std::vector<std::uint64_t> candidates;
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, f.value + 1, f.value - 1, all_ones,
+        all_ones - 1}) {
+    // Writing the original value back would be a no-op mutation.
+    if ((v & all_ones) != f.value) candidates.push_back(v);
+  }
+  util::Bytes out(in.begin(), in.end());
+  write_be(out, f.offset, f.width,
+           candidates[rng.uniform(0, candidates.size() - 1)]);
+  return out;
+}
+
+util::Bytes Mutator::mutate(util::BytesView input, util::Rng& rng) const {
+  util::Bytes out(input.begin(), input.end());
+  const auto n = static_cast<int>(
+      rng.uniform(static_cast<std::uint64_t>(cfg_.min_mutations),
+                  static_cast<std::uint64_t>(cfg_.max_mutations)));
+  for (int i = 0; i < n; ++i) {
+    switch (rng.weighted(cfg_.weights)) {
+      case 0: out = flip_bit(out, rng); break;
+      case 1: out = set_byte(out, rng); break;
+      case 2: out = truncate(out, rng); break;
+      case 3: out = extend(out, rng); break;
+      case 4: out = splice(out, rng); break;
+      default: out = corrupt_length(out, rng); break;
+    }
+  }
+  return out;
+}
+
+}  // namespace malnet::testkit

@@ -1,0 +1,77 @@
+// Structure-aware mutation of valid encoded messages — the fuzzing half of
+// the harness. Mutator::mutate takes a well-formed wire buffer (a corpus
+// entry, see corpus.hpp) and applies a small random batch of mutations:
+//
+//   * bit / byte flips            — classic dumb fuzzing
+//   * truncation                  — the dominant real-world failure mode for
+//                                   wire decoders (short reads, split TCP
+//                                   segments)
+//   * extension / splicing        — trailing garbage, duplicated slices
+//   * length-field corruption     — finds big-endian u8/u16/u32 fields whose
+//                                   value is consistent with the bytes that
+//                                   follow them (length prefixes, counts)
+//                                   and replaces them with boundary values
+//                                   (0, 1, value±1, all-ones)
+//
+// The last class is what makes the mutator structure-aware: decoders almost
+// never crash on random noise (magic checks reject it immediately); they
+// crash when a plausible length field disagrees with the data actually
+// present. All mutations draw from the caller's Rng, so a fuzz run is fully
+// reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace malnet::testkit {
+
+/// A location that plausibly encodes a length/count: `width` bytes at
+/// `offset`, big-endian, whose value is bounded by the bytes remaining
+/// after the field.
+struct LengthField {
+  std::size_t offset = 0;
+  int width = 1;  // 1, 2 or 4
+  std::uint64_t value = 0;
+};
+
+/// Scans `data` for plausible length fields: a big-endian u16/u32 (or a u8)
+/// whose value equals or is bounded by the number of bytes that follow it.
+/// Heuristic by design — false positives just mean extra byte corruption,
+/// which is fine for fuzzing.
+[[nodiscard]] std::vector<LengthField> find_length_fields(util::BytesView data);
+
+struct MutatorConfig {
+  int min_mutations = 1;
+  int max_mutations = 4;
+  /// Weights for the mutation classes, in order: bit flip, byte set,
+  /// truncate, extend, splice, length-field corruption.
+  std::vector<double> weights{2.0, 2.0, 2.0, 1.0, 1.0, 3.0};
+  std::size_t max_grow = 64;  // bytes an extension may add per mutation
+};
+
+class Mutator {
+ public:
+  explicit Mutator(MutatorConfig cfg = {});
+
+  /// One mutated variant of `input`. Deterministic in the Rng state.
+  [[nodiscard]] util::Bytes mutate(util::BytesView input, util::Rng& rng) const;
+
+  // Individual mutation operators, exposed for targeted tests. Each returns
+  // a fresh buffer; inputs may be empty (operators degrade to no-ops or
+  // pure insertion).
+  [[nodiscard]] util::Bytes flip_bit(util::BytesView in, util::Rng& rng) const;
+  [[nodiscard]] util::Bytes set_byte(util::BytesView in, util::Rng& rng) const;
+  [[nodiscard]] util::Bytes truncate(util::BytesView in, util::Rng& rng) const;
+  [[nodiscard]] util::Bytes extend(util::BytesView in, util::Rng& rng) const;
+  [[nodiscard]] util::Bytes splice(util::BytesView in, util::Rng& rng) const;
+  [[nodiscard]] util::Bytes corrupt_length(util::BytesView in,
+                                           util::Rng& rng) const;
+
+ private:
+  MutatorConfig cfg_;
+};
+
+}  // namespace malnet::testkit

@@ -1,0 +1,130 @@
+// Input shrinking for the property runner: Shrink<T>::candidates(v) yields
+// strictly-simpler variants of a failing input, ordered most-aggressive
+// first. check() greedily re-tests candidates and recurses on the first one
+// that still fails, so counterexamples converge to a local minimum (shorter
+// buffers, values closer to zero) in O(log) rounds for the common cases.
+//
+// Specialize Shrink<T> for project types when the defaults (integers,
+// byte/char sequences, vectors) are not enough. An empty candidate list
+// means "already minimal".
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace malnet::testkit {
+
+namespace detail {
+
+/// Sequence shrinker shared by Bytes, std::string and std::vector<T>:
+/// aggressive structural cuts first (empty, halves, chunk removal), then
+/// element simplification toward zero.
+template <typename Seq>
+std::vector<Seq> shrink_sequence(const Seq& v) {
+  using Elem = typename Seq::value_type;
+  std::vector<Seq> out;
+  if (v.empty()) return out;
+
+  out.push_back(Seq{});                                   // drop everything
+  if (v.size() >= 2) {
+    out.emplace_back(v.begin(), v.begin() + v.size() / 2);  // first half
+    out.emplace_back(v.begin() + v.size() / 2, v.end());    // second half
+  }
+  out.emplace_back(v.begin(), v.end() - 1);               // drop last
+  out.emplace_back(v.begin() + 1, v.end());               // drop first
+
+  // Remove a middle chunk (helps when both ends are load-bearing).
+  if (v.size() >= 4) {
+    Seq cut(v.begin(), v.begin() + v.size() / 4);
+    cut.insert(cut.end(), v.begin() + (v.size() * 3) / 4, v.end());
+    out.push_back(cut);
+  }
+
+  // Simplify elements toward zero, a bounded number per round.
+  if constexpr (std::equality_comparable<Elem> &&
+                std::is_default_constructible_v<Elem>) {
+    int budget = 8;
+    for (std::size_t i = 0; i < v.size() && budget > 0; ++i) {
+      if (v[i] == Elem{}) continue;
+      Seq zeroed = v;
+      zeroed[i] = Elem{};
+      out.push_back(std::move(zeroed));
+      --budget;
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+template <typename T, typename Enable = void>
+struct Shrink {
+  static std::vector<T> candidates(const T&) { return {}; }  // not shrinkable
+};
+
+template <typename T>
+struct Shrink<T, std::enable_if_t<std::is_integral_v<T>>> {
+  static std::vector<T> candidates(const T& v) {
+    std::vector<T> out;
+    if (v == 0) return out;
+    out.push_back(0);
+    if constexpr (std::is_signed_v<T>) {
+      if (v < 0) out.push_back(static_cast<T>(-v));  // prefer positive
+    }
+    const T half = static_cast<T>(v / 2);
+    if (half != v) out.push_back(half);
+    const T closer = static_cast<T>(v > 0 ? v - 1 : v + 1);
+    if (closer != half) out.push_back(closer);
+    return out;
+  }
+};
+
+template <>
+struct Shrink<util::Bytes> {
+  static std::vector<util::Bytes> candidates(const util::Bytes& v) {
+    return detail::shrink_sequence(v);
+  }
+};
+
+template <>
+struct Shrink<std::string> {
+  static std::vector<std::string> candidates(const std::string& v) {
+    // For strings "zero" means '\0'; prefer 'a' so shrunk text stays
+    // printable and pasteable into a regression test.
+    auto out = detail::shrink_sequence(v);
+    int budget = 8;
+    for (std::size_t i = 0; i < v.size() && budget > 0; ++i) {
+      if (v[i] == 'a') continue;
+      std::string s = v;
+      s[i] = 'a';
+      out.push_back(std::move(s));
+      --budget;
+    }
+    return out;
+  }
+};
+
+template <typename T>
+struct Shrink<std::vector<T>> {
+  static std::vector<std::vector<T>> candidates(const std::vector<T>& v) {
+    auto out = detail::shrink_sequence(v);
+    // Also shrink individual elements via their own shrinker.
+    int budget = 4;
+    for (std::size_t i = 0; i < v.size() && budget > 0; ++i) {
+      for (auto& cand : Shrink<T>::candidates(v[i])) {
+        std::vector<T> copy = v;
+        copy[i] = std::move(cand);
+        out.push_back(std::move(copy));
+        if (--budget == 0) break;
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace malnet::testkit

@@ -44,7 +44,9 @@ void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
 }
 
 void ByteReader::need(std::size_t n) const {
-  if (pos_ + n > data_.size()) {
+  // Subtraction form: `pos_ + n` could wrap for adversarial n (pos_ never
+  // exceeds size, so the right-hand side cannot underflow).
+  if (n > data_.size() - pos_) {
     throw TruncatedInput("need " + std::to_string(n) + " bytes at offset " +
                          std::to_string(pos_) + ", have " +
                          std::to_string(data_.size() - pos_));
@@ -166,6 +168,9 @@ std::string to_hex(BytesView data) {
 Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
 
 std::string to_string(BytesView b) {
+  // An empty span may carry data() == nullptr; std::string(nullptr, 0) is
+  // undefined, so the empty case must short-circuit.
+  if (b.empty()) return {};
   return std::string(reinterpret_cast<const char*>(b.data()), b.size());
 }
 

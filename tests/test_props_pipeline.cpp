@@ -1,0 +1,130 @@
+// Metamorphic properties of the study pipeline, on top of malnet::testkit:
+//
+//   jobs-invariance   the serialized datasets are a pure function of
+//                     (config, shards) — the worker count never changes a
+//                     byte of output, at any shard count or seed
+//   shards=1 law      ParallelStudy at one shard reproduces the plain
+//                     Pipeline byte-for-byte
+//   loss monotonicity raising the simulated packet-loss knob never
+//                     *increases* the number of C2s confirmed live — every
+//                     observation channel can only degrade
+//
+// Worlds are kept small (~100 samples, no probe campaign) so each run is a
+// few hundred ms; the properties sample a handful of random seeds per run.
+#include <gtest/gtest.h>
+
+#include "core/parallel_study.hpp"
+#include "core/pipeline.hpp"
+#include "report/dataset_io.hpp"
+#include "testkit/testkit.hpp"
+
+using namespace malnet;
+using namespace malnet::core;
+using namespace malnet::testkit;
+
+namespace {
+
+PipelineConfig small_config(std::uint64_t seed, int samples = 100) {
+  PipelineConfig cfg;
+  cfg.seed = seed;
+  cfg.world.total_samples = samples;
+  cfg.run_probe_campaign = false;
+  return cfg;
+}
+
+util::Bytes run_sharded(const PipelineConfig& base, int shards, int jobs) {
+  ParallelStudyConfig cfg;
+  cfg.base = base;
+  cfg.shards = shards;
+  cfg.jobs = jobs;
+  return report::serialize_datasets(ParallelStudy(cfg).run());
+}
+
+/// C2 addresses the liveness probes actually confirmed (§3.2's "live" set).
+std::size_t confirmed_c2_count(const StudyResults& results) {
+  std::size_t n = 0;
+  for (const auto& [addr, rec] : results.d_c2s) {
+    if (rec.ever_live()) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+TEST(PipelineProps, DigestInvariantUnderWorkerCount) {
+  CheckConfig cfg;
+  cfg.cases = 3;  // each case runs 2 shard counts x 2 job counts
+  cfg.name = "jobs-invariance";
+  const auto r = check(ints<std::uint64_t>(1, 1'000'000),
+                       [](std::uint64_t seed) {
+                         const auto base = small_config(seed);
+                         for (const int shards : {1, 3}) {
+                           const auto serial = run_sharded(base, shards, 1);
+                           const auto parallel = run_sharded(base, shards, 4);
+                           if (serial != parallel) return false;
+                         }
+                         return true;
+                       },
+                       cfg);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(PipelineProps, SingleShardMatchesPlainPipeline) {
+  CheckConfig cfg;
+  cfg.cases = 3;
+  cfg.name = "shards=1 equivalence";
+  const auto r = check(ints<std::uint64_t>(1, 1'000'000),
+                       [](std::uint64_t seed) {
+                         const auto base = small_config(seed);
+                         const auto plain =
+                             report::serialize_datasets(Pipeline(base).run());
+                         return run_sharded(base, 1, 2) == plain;
+                       },
+                       cfg);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(PipelineProps, RaisingLossNeverConfirmsMoreC2s) {
+  // Metamorphic relation on the sim's loss knob: each C2 confirmation needs
+  // a completed probe exchange, so a lossier network can only lose
+  // confirmations. Checked across a grid of loss values at several seeds,
+  // with each count also bounded by the lossless baseline.
+  CheckConfig cfg;
+  cfg.cases = 3;
+  cfg.name = "loss monotonicity";
+  const auto r = check(
+      ints<std::uint64_t>(1, 1'000'000),
+      [](std::uint64_t seed) {
+        auto base = small_config(seed);
+        std::size_t prev = 0;
+        bool first = true;
+        // Descending grid: each step the network gets *less* lossy, so the
+        // confirmed count must be non-decreasing left to right.
+        for (const double loss : {0.9, 0.5, 0.15, 0.0}) {
+          base.loss = loss;
+          const auto results = Pipeline(base).run();
+          const std::size_t confirmed = confirmed_c2_count(results);
+          if (!first && confirmed < prev) return false;
+          prev = confirmed;
+          first = false;
+        }
+        return true;
+      },
+      cfg);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(PipelineProps, TotalLossConfirmsNothing) {
+  // The degenerate end of the relation pinned exactly: with (nearly) every
+  // packet dropped, no probe exchange completes and no C2 is confirmed.
+  auto cfg = small_config(22);
+  cfg.loss = 0.999;
+  const auto results = Pipeline(cfg).run();
+  EXPECT_EQ(confirmed_c2_count(results), 0u);
+
+  // And the lossless baseline on the same world does confirm C2s — the
+  // monotone chain is anchored at both ends.
+  auto baseline = small_config(22);
+  const auto clean = Pipeline(baseline).run();
+  EXPECT_GT(confirmed_c2_count(clean), 0u);
+}

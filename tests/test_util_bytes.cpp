@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/bytes.hpp"
 
 using namespace malnet::util;
@@ -103,4 +105,25 @@ TEST(Contains, BinaryNeedles) {
   const Bytes hay = from_hex("00 01 02 03");
   EXPECT_TRUE(contains(hay, BytesView{from_hex("0102")}));
   EXPECT_FALSE(contains(hay, BytesView{from_hex("0201")}));
+}
+
+// Hardening regressions surfaced while building the fuzz harness.
+
+TEST(ToString, EmptySpanWithNullData) {
+  // A default BytesView has data() == nullptr; constructing a std::string
+  // from (nullptr, 0) is undefined, so the empty case must be guarded.
+  EXPECT_EQ(to_string(BytesView{}), "");
+  EXPECT_EQ(to_string(Bytes{}), "");
+  EXPECT_EQ(to_string(to_bytes("x")), "x");
+}
+
+TEST(ByteReader, NeedRejectsWraparoundSizes) {
+  // `pos_ + n` in the bounds check would wrap for n near SIZE_MAX and let
+  // the read through; the subtraction form must reject it.
+  const Bytes b = from_hex("0102");
+  ByteReader r(b);
+  r.skip(1);
+  EXPECT_THROW((void)r.raw(std::numeric_limits<std::size_t>::max()), TruncatedInput);
+  EXPECT_THROW((void)r.raw(std::numeric_limits<std::size_t>::max() - 1), TruncatedInput);
+  EXPECT_EQ(r.u8(), 2);  // reader still usable after the rejected reads
 }

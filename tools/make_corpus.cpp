@@ -1,0 +1,136 @@
+// Regenerates the committed fuzz seed corpus (tests/corpus/) from the
+// project's own encoders, so every corpus entry is a valid wire message by
+// construction and the corpus can be rebuilt byte-identically after an
+// encoder change:
+//
+//   malnet_make_corpus [output-dir]     (default: tests/corpus)
+//
+// test_testkit's CorpusEntriesAreValid locks the committed files to the
+// decoders; if an encoder legitimately changes, rerun this tool and commit
+// the result.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "dns/message.hpp"
+#include "net/packet.hpp"
+#include "net/pcap.hpp"
+#include "proto/daddyl33t.hpp"
+#include "proto/gafgyt.hpp"
+#include "proto/irc.hpp"
+#include "proto/mirai.hpp"
+#include "proto/p2p.hpp"
+
+using namespace malnet;
+using namespace malnet::proto;
+
+namespace {
+
+void write_file(const std::filesystem::path& path, util::BytesView data) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path.string());
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  if (!f) throw std::runtime_error("write failed for " + path.string());
+  std::cout << path.string() << "  (" << data.size() << " bytes)\n";
+}
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  write_file(path, util::to_bytes(text));
+}
+
+net::Packet sample_packet(net::Protocol proto) {
+  net::Packet p;
+  p.time = util::SimTime{1'651'881'600'000'000};  // 2022-05-07, the re-query day
+  p.src = net::Ipv4{192, 0, 2, 5};
+  p.dst = net::Ipv4{203, 0, 113, 9};
+  p.proto = proto;
+  p.ttl = 64;
+  switch (proto) {
+    case net::Protocol::kTcp:
+      p.src_port = 49152;
+      p.dst_port = 23;
+      p.flags.psh = true;
+      p.flags.ack = true;
+      p.seq = 0x1000;
+      p.ack_num = 0x2000;
+      p.payload = util::to_bytes("BUILD MIPS\n");
+      break;
+    case net::Protocol::kUdp:
+      p.src_port = 5353;
+      p.dst_port = 53;
+      p.payload = dns::encode(dns::make_query(0x1337, "cnc.malnet.example"));
+      break;
+    case net::Protocol::kIcmp:
+      p.icmp = {3, 3};  // BLACKNURSE
+      p.payload = util::to_bytes("icmp-payload");
+      break;
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir = argc > 1 ? argv[1] : "tests/corpus";
+  std::filesystem::create_directories(dir);
+
+  // --- Mirai (binary C2 protocol) ---
+  write_file(dir / "mirai_handshake.bin", mirai::encode_handshake("mips.malnet.1"));
+  write_file(dir / "mirai_keepalive.bin", mirai::encode_keepalive());
+  proto::AttackCommand mirai_cmd;
+  mirai_cmd.type = proto::AttackType::kSynFlood;
+  mirai_cmd.target = {net::Ipv4{203, 0, 113, 9}, 443};
+  mirai_cmd.duration_s = 120;
+  write_file(dir / "mirai_attack.bin", mirai::encode_attack(mirai_cmd));
+
+  // --- Gafgyt (text C2 protocol) ---
+  write_file(dir / "gafgyt_hello.txt", gafgyt::encode_hello("MIPS"));
+  proto::AttackCommand gafgyt_cmd;
+  gafgyt_cmd.type = proto::AttackType::kStd;
+  gafgyt_cmd.target = {net::Ipv4{198, 51, 100, 7}, 9999};
+  gafgyt_cmd.duration_s = 60;
+  write_file(dir / "gafgyt_attack.txt", gafgyt::encode_attack(gafgyt_cmd));
+
+  // --- Daddyl33t (text C2 protocol) ---
+  write_file(dir / "daddyl33t_login.txt", daddyl33t::encode_login("bot42"));
+  proto::AttackCommand daddy_cmd;
+  daddy_cmd.type = proto::AttackType::kBlacknurse;
+  daddy_cmd.target = {net::Ipv4{192, 0, 2, 55}, 0};
+  daddy_cmd.duration_s = 45;
+  write_file(dir / "daddyl33t_attack.txt", daddyl33t::encode_attack(daddy_cmd));
+
+  // --- IRC (Tsunami) ---
+  write_file(dir / "irc_privmsg.txt",
+             proto::irc::privmsg("#tsunami", "!* UDP 198.51.100.7 80 30").serialize());
+
+  // --- P2P (Mozi/Hajime DHT) ---
+  const std::string node_id = "MALNET-NODE-0123456@";  // 20 bytes
+  write_file(dir / "p2p_ping.bin", proto::p2p::encode_ping({node_id, "aa"}));
+  write_file(dir / "p2p_get_peers.bin",
+             proto::p2p::encode_get_peers({node_id, "gp"}));
+  proto::p2p::PeersReply reply;
+  reply.node_id = node_id;
+  reply.txn = "gp";
+  reply.peers = {{net::Ipv4{203, 0, 113, 20}, 6881}, {net::Ipv4{198, 51, 100, 3}, 6882}};
+  write_file(dir / "p2p_peers_reply.bin", proto::p2p::encode_peers_reply(reply));
+
+  // --- DNS query/response pair ---
+  const auto query = dns::make_query(0x1337, "cnc.malnet.example");
+  write_file(dir / "dns_query.bin", dns::encode(query));
+  write_file(dir / "dns_response.bin",
+             dns::encode(dns::make_response(query, net::Ipv4{203, 0, 113, 80})));
+
+  // --- Raw IPv4 packets + a minimal pcap ---
+  write_file(dir / "packet_tcp.bin", net::to_wire(sample_packet(net::Protocol::kTcp)));
+  write_file(dir / "packet_udp.bin", net::to_wire(sample_packet(net::Protocol::kUdp)));
+  write_file(dir / "packet_icmp.bin", net::to_wire(sample_packet(net::Protocol::kIcmp)));
+  net::PcapWriter pcap;
+  pcap.add(sample_packet(net::Protocol::kTcp));
+  pcap.add(sample_packet(net::Protocol::kUdp));
+  pcap.add(sample_packet(net::Protocol::kIcmp));
+  write_file(dir / "mini.pcap", pcap.bytes());
+
+  std::cout << "corpus written to " << dir.string() << "\n";
+  return 0;
+}
