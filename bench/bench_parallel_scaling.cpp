@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "common.hpp"
@@ -34,7 +35,9 @@ int main(int argc, char** argv) {
   std::printf("%-8s  %10s  %8s  %s\n", "workers", "wall (s)", "speedup", "output");
 
   double base_seconds = 0.0;
+  double plain8_seconds = 0.0;
   util::Bytes reference;
+  std::string reference_metrics;
   for (const int jobs : {1, 2, 4, 8}) {
     core::ParallelStudyConfig run_cfg = cfg;
     run_cfg.jobs = jobs;
@@ -45,8 +48,11 @@ int main(int argc, char** argv) {
     if (jobs == 1) {
       base_seconds = seconds;
       reference = report::serialize_datasets(results);
+      reference_metrics = results.metrics.to_json();
     }
-    const bool identical = report::serialize_datasets(results) == reference;
+    if (jobs == 8) plain8_seconds = seconds;
+    const bool identical = report::serialize_datasets(results) == reference &&
+                           results.metrics.to_json() == reference_metrics;
     std::printf("%-8d  %10.2f  %7.2fx  %s\n", jobs, seconds,
                 base_seconds / seconds,
                 identical ? "bit-identical" : "MISMATCH (BUG)");
@@ -54,6 +60,36 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "\nExpected shape: >=2x at 4 workers on >=4 cores; identical merged\n"
-      "datasets on every row regardless of worker count.\n");
+      "datasets (and metrics JSON) on every row regardless of worker count.\n");
+
+  // One fully-instrumented pass: per-event wall attribution + tracing on.
+  // The per-phase table shows where the study spends its time; the delta
+  // against the plain jobs=8 row bounds the instrumentation overhead.
+  core::ParallelStudyConfig prof_cfg = cfg;
+  prof_cfg.jobs = 8;
+  prof_cfg.base.profile_wall = true;
+  prof_cfg.base.trace = true;
+  const auto p0 = std::chrono::steady_clock::now();
+  const auto prof_results = core::ParallelStudy(prof_cfg).run();
+  const auto p1 = std::chrono::steady_clock::now();
+  const double prof_seconds = std::chrono::duration<double>(p1 - p0).count();
+
+  std::printf("\nPer-phase profile (instrumented jobs=8 pass):\n%s",
+              prof_results.profile.render_table().c_str());
+  std::printf("\ninstrumented wall: %.2f s (plain jobs=8: %.2f s, overhead %+.1f%%); "
+              "%zu trace events\n",
+              prof_seconds, plain8_seconds,
+              plain8_seconds > 0.0
+                  ? (prof_seconds / plain8_seconds - 1.0) * 100.0
+                  : 0.0,
+              prof_results.trace.size());
+  {
+    std::ofstream out("bench_parallel_scaling_phases.json");
+    if (out) out << prof_results.profile.to_json() << '\n';
+  }
+  if (prof_results.metrics.to_json() != reference_metrics) {
+    std::printf("MISMATCH (BUG): instrumentation changed the metrics snapshot\n");
+    return 1;
+  }
   return 0;
 }

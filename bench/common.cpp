@@ -1,6 +1,7 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <fstream>
 
 namespace malnet::bench {
 
@@ -18,7 +19,14 @@ core::Pipeline& pipeline_instance() {
 }  // namespace
 
 const core::StudyResults& full_study() {
-  static const core::StudyResults kResults = pipeline_instance().run();
+  static const core::StudyResults kResults = [] {
+    core::StudyResults r = pipeline_instance().run();
+    // Every bench process leaves the run's registry snapshot behind, so a
+    // perf regression can be cross-checked against its op counts.
+    std::ofstream out("bench_metrics.json");
+    if (out) out << r.metrics.to_json() << '\n';
+    return r;
+  }();
   return kResults;
 }
 

@@ -79,8 +79,21 @@ PipelineConfig shard_config(const PipelineConfig& base, int shards, int index) {
 StudyResults merge_study_results(std::vector<StudyResults> parts) {
   if (parts.empty()) throw std::invalid_argument("merge_study_results: no shards");
   StudyResults merged = std::move(parts.front());
+  if (parts.size() > 1) {
+    // Keep shard 0's pre-merge snapshot alongside the others; `metrics`
+    // itself becomes the study-wide aggregate below. Shard order — never
+    // completion order — keeps the merge jobs-invariant.
+    merged.shard_metrics.clear();
+    merged.shard_metrics.push_back(merged.metrics);
+    for (auto& e : merged.trace) e.pid = 0;
+  }
   for (std::size_t i = 1; i < parts.size(); ++i) {
     StudyResults& p = parts[i];
+    merged.shard_metrics.push_back(p.metrics);
+    merged.metrics.merge(p.metrics);
+    merged.profile.merge(p.profile);
+    for (auto& e : p.trace) e.pid = static_cast<int>(i);
+    append(merged.trace, std::move(p.trace));
     append(merged.d_samples, std::move(p.d_samples));
     append(merged.d_exploits, std::move(p.d_exploits));
     append(merged.d_ddos, std::move(p.d_ddos));

@@ -48,7 +48,10 @@ struct ParallelStudyConfig {
 /// d_samples / d_exploits / d_ddos concatenate in shard order; d_c2s merges
 /// key-wise (the earlier-discovered record keeps the identity fields, day
 /// lists union sorted, per-address counters add); downloader_hosts unions;
-/// scalar counters sum; d_pc2 is shard 0's.
+/// scalar counters sum; d_pc2 is shard 0's. Observability: `metrics`
+/// merges key-wise in shard order (and each shard's pre-merge snapshot is
+/// kept in `shard_metrics`), `profile` adds per-phase, trace events are
+/// concatenated with pid = shard index.
 [[nodiscard]] StudyResults merge_study_results(std::vector<StudyResults> parts);
 
 class ParallelStudy {

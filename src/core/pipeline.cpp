@@ -16,6 +16,19 @@ util::LogStream plog() { return util::LogStream(util::LogLevel::kInfo, "pipeline
 
 Pipeline::Pipeline(PipelineConfig cfg) : cfg_(std::move(cfg)) {
   sched_ = std::make_unique<sim::EventScheduler>();
+  obs_.tracer.set_enabled(cfg_.trace);
+  obs_.tracer.set_sim_clock([this]() { return sched_->now().us; });
+  sched_->set_wall_profiling(cfg_.profile_wall);
+  {
+    auto& reg = obs_.registry;
+    m_samples_ = &reg.counter("samples_analysed");
+    m_non_mips_ = &reg.counter("non_mips_skipped");
+    m_liveness_probes_ = &reg.counter("pipeline.liveness_probes");
+    m_live_runs_ = &reg.counter("pipeline.live_runs");
+    m_c2_observations_ = &reg.counter("pipeline.c2_observations");
+    m_ddos_records_ = &reg.counter("ddos_records");
+    m_c2_candidates_ = &reg.histogram("pipeline.c2_candidates", {0, 1, 2, 4, 8});
+  }
   sim::NetworkConfig nc;
   nc.seed = cfg_.seed;
   nc.loss = cfg_.loss;
@@ -27,6 +40,7 @@ Pipeline::Pipeline(PipelineConfig cfg) : cfg_(std::move(cfg)) {
 
   emu::SandboxConfig sc;
   sc.seed = cfg_.seed ^ 0xBADC0FFEE;
+  sc.obs = &obs_;
   sandbox_ = std::make_unique<emu::Sandbox>(*net_, sc);
 
   intel_ = std::make_unique<intel::ThreatIntel>(cfg_.seed ^ 0x71);
@@ -52,17 +66,32 @@ StudyResults Pipeline::run() {
 
   std::size_t next_sample = 0;
   for (std::int64_t day = 0; day <= last_day; ++day) {
-    world_->advance_to_day(day);
-    // Launch today's analysis chains, staggered from 00:01, all running
-    // concurrently on the shared timeline (the paper's parallel sandboxes).
-    int slot = 0;
-    while (next_sample < samples.size() && samples[next_sample].first_seen_day == day) {
-      const botnet::PlannedSample& sample = samples[next_sample];
-      const sim::SimTime start{day * kDayUs + 60'000'000LL +
-                               slot * 90'000'000LL};
-      sched_->at(start, [this, &sample]() { analyse_sample(sample); });
-      ++next_sample;
-      ++slot;
+    {
+      // Day planning runs outside the event loop (ScopedTimer); the world
+      // events it schedules — and their downstream chains — carry kWorld.
+      obs::ScopedTimer timer(profile_[obs::Phase::kCollect]);
+      sim::ScopedPhaseTag tag(*sched_,
+                              static_cast<sim::PhaseTag>(obs::Phase::kWorld));
+      world_->advance_to_day(day);
+    }
+    {
+      // Launch today's analysis chains, staggered from 00:01, all running
+      // concurrently on the shared timeline (the paper's parallel
+      // sandboxes). The chains inherit kSandbox and hand off to finer
+      // phases (probe, live-watch) as they go.
+      obs::ScopedTimer timer(profile_[obs::Phase::kCollect]);
+      sim::ScopedPhaseTag tag(*sched_,
+                              static_cast<sim::PhaseTag>(obs::Phase::kSandbox));
+      int slot = 0;
+      while (next_sample < samples.size() &&
+             samples[next_sample].first_seen_day == day) {
+        const botnet::PlannedSample& sample = samples[next_sample];
+        const sim::SimTime start{day * kDayUs + 60'000'000LL +
+                                 slot * 90'000'000LL};
+        sched_->at(start, [this, &sample]() { analyse_sample(sample); });
+        ++next_sample;
+        ++slot;
+      }
     }
     sched_->run_until(sim::SimTime{(day + 1) * kDayUs});
     if (day % 30 == 0) {
@@ -77,11 +106,55 @@ StudyResults Pipeline::run() {
 
   if (cfg_.run_probe_campaign) run_probe_campaign();
 
-  finalize_results();
-  results_.sim_events = sched_->executed();
-  results_.sandbox_runs = sandbox_->total_runs();
-  results_.truth_commands_issued = world_->all_issued().size();
+  {
+    obs::ScopedTimer timer(profile_[obs::Phase::kFinalize]);
+    finalize_results();
+    results_.sim_events = sched_->executed();
+    results_.sandbox_runs = sandbox_->total_runs();
+    results_.truth_commands_issued = world_->all_issued().size();
+    harvest_observability();
+  }
+  results_.metrics = obs_.registry.snapshot();
+  results_.profile = profile_;
+  results_.trace = obs_.tracer.take();
   return std::move(results_);
+}
+
+void Pipeline::harvest_observability() {
+  // End-of-run totals folded into the registry so one snapshot carries the
+  // whole story. Everything here is a sim-derived integer (the §10
+  // determinism rule); harvest counters start at zero, so a single
+  // inc(total) leaves them exactly equal to the source of truth.
+  auto& reg = obs_.registry;
+  reg.counter("sim_events").inc(sched_->executed());
+  reg.counter("net.packets_sent").inc(net_->packets_transmitted());
+  reg.counter("net.packets_delivered").inc(net_->packets_delivered());
+  reg.counter("net.packets_lost").inc(net_->packets_lost());
+  reg.counter("net.packets_dark").inc(net_->packets_dark());
+  reg.counter("net.dns_queries").inc(net_->dns_queries());
+  reg.counter("campaign.scout_probes").inc(results_.d_pc2.scout_probes);
+  reg.counter("campaign.weapon_runs").inc(results_.d_pc2.weapon_runs);
+  reg.counter("campaign.banner_filtered").inc(results_.d_pc2.banner_filtered);
+  auto& lifespan = reg.histogram("c2.lifespan_days", {0, 1, 7, 30, 90, 365});
+  for (const auto& [addr, rec] : results_.d_c2s) {
+    if (rec.ever_live()) lifespan.record(rec.observed_lifespan_days());
+  }
+
+  // Per-phase rollup: event counts (and wall-clock under --profile) come
+  // from the scheduler's tag arrays; ops are phase-defined totals.
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    profile_.phases[i].sim_events +=
+        sched_->executed_by_tag(static_cast<sim::PhaseTag>(i));
+    profile_.phases[i].wall_ns +=
+        sched_->wall_ns_by_tag(static_cast<sim::PhaseTag>(i));
+  }
+  profile_[obs::Phase::kCollect].ops = m_samples_->value() + m_non_mips_->value();
+  profile_[obs::Phase::kSandbox].ops = sandbox_->total_runs();
+  profile_[obs::Phase::kProbe].ops = m_liveness_probes_->value();
+  profile_[obs::Phase::kLiveWatch].ops = m_live_runs_->value();
+  profile_[obs::Phase::kCampaign].ops =
+      static_cast<std::uint64_t>(results_.d_pc2.rounds);
+  profile_[obs::Phase::kFinalize].ops = results_.d_c2s.size();
 }
 
 void Pipeline::analyse_sample(const botnet::PlannedSample& sample) {
@@ -90,6 +163,7 @@ void Pipeline::analyse_sample(const botnet::PlannedSample& sample) {
   if (const auto parsed = mal::parse(sample.binary);
       parsed && parsed->arch != mal::Arch::kMips32) {
     ++results_.non_mips_skipped;
+    m_non_mips_->inc();
     return;
   }
   emu::SandboxOptions opts;
@@ -137,8 +211,12 @@ void Pipeline::handle_observe_report(const botnet::PlannedSample& sample,
   }
   for (const auto& c : candidates) rec.c2_addresses.push_back(c.address);
   results_.d_samples.push_back(std::move(rec));
+  m_samples_->inc();
+  m_c2_candidates_->record(static_cast<std::int64_t>(candidates.size()));
 
   if (results_.d_samples.back().p2p || candidates.empty()) return;
+  // The probing chain (DNS resolution + weaponized runs) is its own phase.
+  sim::ScopedPhaseTag tag(*sched_, static_cast<sim::PhaseTag>(obs::Phase::kProbe));
   probe_candidate(sample, std::move(candidates), 0, /*live_found=*/false);
 }
 
@@ -155,6 +233,7 @@ void Pipeline::probe_candidate(const botnet::PlannedSample& sample,
       return;
     }
     Weapon weapon{sample.binary, cand.endpoint()};
+    m_liveness_probes_->inc();
     probe_liveness(
         *sandbox_, weapon, {real_ip, cand.port},
         [this, &sample, candidates = std::move(candidates), idx, live_found, cand,
@@ -205,6 +284,7 @@ void Pipeline::record_c2_observation(const botnet::PlannedSample& sample,
     rec.vt_vendors_same_day = intel_->vendors_flagging(cand.address, day);
     rec.vt_malicious_same_day = rec.vt_vendors_same_day > 0;
   }
+  m_c2_observations_->inc();
   ++rec.distinct_samples;
   if (rec.referred_days.empty() || rec.referred_days.back() != day) {
     rec.referred_days.push_back(day);
@@ -219,6 +299,14 @@ void Pipeline::start_live_run(const botnet::PlannedSample& sample,
   plog() << "live run: sample " << sample.sha256.substr(0, 8) << " c2 "
          << cand.address << " via " << net::to_string(real_ip) << ':'
          << cand.port;
+  m_live_runs_->inc();
+  if (obs_.tracer.enabled()) {
+    obs_.tracer.instant("live-run:start", "pipeline",
+                        "\"c2\":\"" + obs::json_escape(cand.address) + "\"");
+  }
+  // The 2 h restricted watch and everything it triggers is kLiveWatch.
+  sim::ScopedPhaseTag tag(*sched_,
+                          static_cast<sim::PhaseTag>(obs::Phase::kLiveWatch));
   emu::SandboxOptions opts;
   opts.mode = emu::SandboxMode::kLive;
   opts.duration = cfg_.live_duration;
@@ -252,6 +340,13 @@ void Pipeline::start_live_run(const botnet::PlannedSample& sample,
             dr.c2_country = as->country;
           }
           dr.detection = std::move(det);
+          if (obs_.tracer.enabled()) {
+            obs_.tracer.instant(
+                "ddos:detected", "pipeline",
+                "\"method\":\"" + obs::json_escape(to_string(dr.detection.method)) +
+                    "\",\"c2\":\"" + obs::json_escape(address) + "\"");
+          }
+          m_ddos_records_->inc();
           results_.d_ddos.push_back(std::move(dr));
         }
       });
@@ -271,6 +366,9 @@ void Pipeline::run_probe_campaign() {
   }
   if (weapons.empty()) return;
 
+  // Everything from here (probe-world timers included) is kCampaign.
+  sim::ScopedPhaseTag campaign_tag(
+      *sched_, static_cast<sim::PhaseTag>(obs::Phase::kCampaign));
   probe_world_ = std::make_unique<botnet::ProbeWorld>(
       botnet::build_probe_world(*net_, botnet::ProbeWorldConfig{cfg_.seed ^ 0x9C2}));
 
@@ -278,6 +376,7 @@ void Pipeline::run_probe_campaign() {
   for (const auto& s : probe_world_->subnets) pc.subnets.push_back(s);
   pc.ports = botnet::table5_ports();
   pc.rounds = cfg_.probe_rounds;
+  pc.obs = &obs_;
 
   bool finished = false;
   campaign_ = std::make_unique<ProbeCampaign>(

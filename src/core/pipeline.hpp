@@ -29,6 +29,7 @@
 #include "core/prober.hpp"
 #include "emu/sandbox.hpp"
 #include "intel/threat_intel.hpp"
+#include "obs/obs.hpp"
 
 namespace malnet::core {
 
@@ -107,6 +108,11 @@ struct PipelineConfig {
   std::int64_t requery_day = 404;
   bool run_probe_campaign = true;  // the D-PC2 study (adds ~3M sim events)
   int probe_rounds = 84;
+  /// Buffer sim-time trace events (obs::Tracer) for StudyResults::trace.
+  bool trace = false;
+  /// Attribute per-event wall-clock to phases (two extra clock reads per
+  /// sim event — metrics and per-phase event counts are always on).
+  bool profile_wall = false;
 };
 
 struct StudyResults {
@@ -127,6 +133,20 @@ struct StudyResults {
   /// Feed binaries discarded at the architecture gate (§2.2: the study
   /// keeps MIPS-32 only).
   std::uint64_t non_mips_skipped = 0;
+
+  // --- Observability (DESIGN.md §10) -------------------------------------
+  /// Merged registry snapshot. Sim-derived integers only, so its JSON is a
+  /// pure function of (config, shards) — byte-identical for any --jobs.
+  obs::MetricsSnapshot metrics;
+  /// Pre-merge per-shard snapshots (shard order; single-pipeline runs leave
+  /// this empty). Lets callers localise a counter anomaly to a shard.
+  std::vector<obs::MetricsSnapshot> shard_metrics;
+  /// Per-phase rollup. sim_events/ops columns are deterministic; wall_ns
+  /// is wall-clock and is not.
+  obs::ProfileSnapshot profile;
+  /// Buffered trace events (empty unless PipelineConfig::trace). pid is
+  /// the shard index after a ParallelStudy merge.
+  std::vector<obs::TraceEvent> trace;
 };
 
 class Pipeline {
@@ -144,6 +164,9 @@ class Pipeline {
   [[nodiscard]] const botnet::World& world() const { return *world_; }
   [[nodiscard]] const intel::ThreatIntel& ti() const { return *intel_; }
   [[nodiscard]] const asdb::AsDatabase& asdb() const { return world_->asdb(); }
+  /// The pipeline's observability sink (registry + tracer). Live while the
+  /// pipeline is; run() snapshots it into StudyResults.
+  [[nodiscard]] obs::Observer& observer() { return obs_; }
 
  private:
   void analyse_sample(const botnet::PlannedSample& sample);
@@ -158,8 +181,21 @@ class Pipeline {
                       net::Ipv4 real_ip);
   void run_probe_campaign();
   void finalize_results();
+  /// Copies end-of-run totals (network, scheduler, campaign, C2 lifespans)
+  /// into the registry and fills the per-phase profile.
+  void harvest_observability();
 
   PipelineConfig cfg_;
+  obs::Observer obs_;
+  obs::ProfileSnapshot profile_;
+  // Cached registry instruments (see obs/metrics.hpp on why).
+  obs::Counter* m_samples_ = nullptr;
+  obs::Counter* m_non_mips_ = nullptr;
+  obs::Counter* m_liveness_probes_ = nullptr;
+  obs::Counter* m_live_runs_ = nullptr;
+  obs::Counter* m_c2_observations_ = nullptr;
+  obs::Counter* m_ddos_records_ = nullptr;
+  obs::Histogram* m_c2_candidates_ = nullptr;
   std::unique_ptr<sim::EventScheduler> sched_;
   std::unique_ptr<sim::Network> net_;
   std::unique_ptr<botnet::World> world_;

@@ -31,6 +31,7 @@ void probe_liveness(emu::Sandbox& sandbox, const Weapon& weapon, net::Endpoint t
 
 struct ProbeCampaign::Round {
   int round = 0;
+  std::int64_t start_sim_us = 0;
   std::vector<net::Endpoint> queue;
   std::size_t next = 0;
   int outstanding = 0;
@@ -72,6 +73,7 @@ void ProbeCampaign::run_round(int round) {
   }
   auto state = std::make_shared<Round>();
   state->round = round;
+  state->start_sim_us = net_.now().us;
   for (const auto& subnet : cfg_.subnets) {
     for (std::uint32_t h = 1; h + 1 < subnet.size(); ++h) {
       for (const auto port : cfg_.ports) {
@@ -164,6 +166,16 @@ void ProbeCampaign::finish_round(std::shared_ptr<Round> state) {
   }
   for (auto& [ep, bits] : full_raster_) {
     bits[static_cast<std::size_t>(state->round)] = state->responsive.count(ep) > 0;
+  }
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->registry.counter("campaign.rounds").inc();
+    if (cfg_.obs->tracer.enabled()) {
+      std::string args = "\"round\":" + std::to_string(state->round) +
+                         ",\"candidates\":" + std::to_string(state->candidates.size()) +
+                         ",\"responsive\":" + std::to_string(state->responsive.size());
+      cfg_.obs->tracer.complete("campaign:round " + std::to_string(state->round),
+                                "campaign", state->start_sim_us, args);
+    }
   }
   const int next_round = state->round + 1;
   scout_->schedule_safe(cfg_.interval, [this, next_round]() { run_round(next_round); });

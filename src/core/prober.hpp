@@ -47,6 +47,9 @@ struct ProbeCampaignConfig {
   int rounds = 84;  // 6 probes/day for two weeks
   double scout_rate_pps = 120.0;
   sim::Duration banner_wait = sim::Duration::millis(1500);
+  /// Observability sink (owned by the enclosing pipeline; may be null):
+  /// counts rounds and emits one trace span per campaign round.
+  obs::Observer* obs = nullptr;
 };
 
 struct ProbeCampaignResult {

@@ -49,6 +49,7 @@ class Sandbox::Run {
         done_(std::move(done)),
         victim_(std::make_unique<Victim>(net, victim_ip, *this)),
         guest_(std::make_unique<sim::Host>(net, guest_ip, "sandbox-guest")) {
+    start_sim_us_ = net.now().us;
     report_.parsed = true;
 
     if (opts_.mode == SandboxMode::kLive) {
@@ -75,6 +76,7 @@ class Sandbox::Run {
   /// For unparseable binaries: an empty run that reports failure.
   Run(Sandbox& box, std::uint64_t id, sim::EventScheduler& sched, RunCallback done)
       : box_(box), id_(id), done_(std::move(done)) {
+    start_sim_us_ = sched.now().us;
     sched.after(sim::Duration::micros(1), [this]() { finalize(); });
   }
 
@@ -240,6 +242,7 @@ class Sandbox::Run {
     proc_.reset();
     guest_.reset();
     victim_.reset();
+    box_.note_report(opts_, report_, start_sim_us_);
     RunCallback done = std::move(done_);
     SandboxReport report = std::move(report_);
     box_.release(id_);  // destroys *this; locals above stay valid
@@ -263,6 +266,7 @@ class Sandbox::Run {
   std::map<net::Port, std::set<net::Ipv4>> distinct_dsts_;
   std::map<net::Endpoint, int> syn_counts_;
   std::set<net::Port> redirected_ports_;
+  std::int64_t start_sim_us_ = 0;
   bool finalized_ = false;
 };
 
@@ -272,6 +276,41 @@ Sandbox::Sandbox(sim::Network& net, SandboxConfig cfg)
     : net_(net), cfg_(cfg), rng_(cfg.seed, util::fnv1a64("sandbox")) {
   fake_dns_ = std::make_unique<inetsim::FakeDns>(net_, cfg_.guest_pool.host(2), kMartian);
   fake_http_ = std::make_unique<inetsim::FakeHttp>(net_, cfg_.guest_pool.host(3));
+  if (cfg_.obs != nullptr) {
+    auto& reg = cfg_.obs->registry;
+    m_runs_ = &reg.counter("sandbox_runs");
+    m_runs_by_mode_[0] = &reg.counter("sandbox.runs_observe");
+    m_runs_by_mode_[1] = &reg.counter("sandbox.runs_live");
+    m_runs_by_mode_[2] = &reg.counter("sandbox.runs_weaponized");
+    m_unparseable_ = &reg.counter("sandbox.unparseable");
+    m_unsupported_arch_ = &reg.counter("sandbox.unsupported_arch");
+    m_activated_ = &reg.counter("sandbox.activated");
+    m_evasion_aborts_ = &reg.counter("sandbox.evasion_aborts");
+    m_exploits_captured_ = &reg.counter("sandbox.exploits_captured");
+    m_packets_out_ = &reg.histogram("sandbox.packets_out",
+                                    {0, 10, 100, 1000, 10000, 100000});
+  }
+}
+
+void Sandbox::note_report(const SandboxOptions& opts, const SandboxReport& report,
+                          std::int64_t started_sim_us) {
+  if (cfg_.obs == nullptr) return;
+  if (!report.parsed) {
+    m_unparseable_->inc();
+  } else if (report.unsupported_arch) {
+    m_unsupported_arch_->inc();
+  } else {
+    if (report.activated) m_activated_->inc();
+    if (report.evasion_abort) m_evasion_aborts_->inc();
+    m_exploits_captured_->inc(report.exploits.size());
+    m_packets_out_->record(static_cast<std::int64_t>(report.packets_out));
+  }
+  if (cfg_.obs->tracer.enabled()) {
+    cfg_.obs->tracer.complete(
+        "sandbox:" + to_string(opts.mode), "sandbox", started_sim_us,
+        "\"packets_out\":" + std::to_string(report.packets_out) +
+            ",\"activated\":" + (report.activated ? "true" : "false"));
+  }
 }
 
 Sandbox::~Sandbox() = default;
@@ -281,6 +320,10 @@ net::Ipv4 Sandbox::martian() const { return kMartian; }
 void Sandbox::start(util::BytesView binary, SandboxOptions opts, RunCallback done) {
   if (!done) throw std::invalid_argument("Sandbox::start: null callback");
   ++total_runs_;
+  if (m_runs_ != nullptr) {
+    m_runs_->inc();
+    m_runs_by_mode_[static_cast<int>(opts.mode)]->inc();
+  }
   const std::uint64_t id = next_run_id_++;
 
   auto content = mal::parse(binary);

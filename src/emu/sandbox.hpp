@@ -34,6 +34,7 @@
 #include "inetsim/services.hpp"
 #include "mal/binary.hpp"
 #include "net/pcap.hpp"
+#include "obs/obs.hpp"
 #include "sim/network.hpp"
 #include "util/rng.hpp"
 
@@ -99,6 +100,10 @@ struct SandboxConfig {
   /// CPU architectures this sandbox can emulate. The study's sandbox is
   /// MIPS-32-only (§2.1); §6d names broader support as the scaling path.
   std::vector<mal::Arch> supported_archs{mal::Arch::kMips32};
+  /// Observability sink (owned by the enclosing pipeline; may be null).
+  /// Runs and reports are counted in its registry; completed runs emit
+  /// trace spans when its tracer is enabled.
+  obs::Observer* obs = nullptr;
 };
 
 /// Factory driving concurrent sandbox runs on one simulated network.
@@ -124,6 +129,10 @@ class Sandbox {
   class Run;
 
   void release(std::uint64_t id);  // called by a finishing Run
+  /// Observability hook, called by a finishing Run just before its callback:
+  /// counts report outcomes and emits the run's trace span.
+  void note_report(const SandboxOptions& opts, const SandboxReport& report,
+                   std::int64_t started_sim_us);
 
   sim::Network& net_;
   SandboxConfig cfg_;
@@ -132,6 +141,16 @@ class Sandbox {
   std::unique_ptr<inetsim::FakeHttp> fake_http_;
   std::uint32_t next_offset_ = 16;  // low addresses reserved for infra
   std::uint64_t total_runs_ = 0;
+  // Cached registry instruments (null when cfg_.obs is null); lookups are
+  // mutex-guarded, increments are not — see obs/metrics.hpp.
+  obs::Counter* m_runs_ = nullptr;
+  obs::Counter* m_runs_by_mode_[3] = {nullptr, nullptr, nullptr};
+  obs::Counter* m_unparseable_ = nullptr;
+  obs::Counter* m_unsupported_arch_ = nullptr;
+  obs::Counter* m_activated_ = nullptr;
+  obs::Counter* m_evasion_aborts_ = nullptr;
+  obs::Counter* m_exploits_captured_ = nullptr;
+  obs::Histogram* m_packets_out_ = nullptr;
   std::map<std::uint64_t, std::unique_ptr<Run>> runs_;
   std::uint64_t next_run_id_ = 1;
 };

@@ -1,0 +1,191 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace malnet::obs::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run() {
+    skip_ws();
+    Value v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  char take() { return text_[pos_++]; }
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.type = Value::Type::kString;
+        return parse_string(out.str);
+      case 't':
+        out.type = Value::Type::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.type = Value::Type::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.type = Value::Type::kNull;
+        return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    out.type = Value::Type::kObject;
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      Value member;
+      if (!parse_value(member)) return false;
+      out.object.emplace(std::move(key), std::move(member));
+      skip_ws();
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+
+  bool parse_array(Value& out) {
+    out.type = Value::Type::kArray;
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      Value element;
+      if (!parse_value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (consume(',')) continue;
+      return consume(']');
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    while (!eof()) {
+      const char c = take();
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (eof()) return false;
+        const char esc = take();
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            // Preserved verbatim (no surrogate decoding needed for the
+            // ASCII content the obs layer emits).
+            if (pos_ + 4 > text_.size()) return false;
+            out += "\\u";
+            for (int i = 0; i < 4; ++i) {
+              const char h = take();
+              if (std::isxdigit(static_cast<unsigned char>(h)) == 0) return false;
+              out += h;
+            }
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return false;
+    out.type = Value::Type::kNumber;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  const auto it = object.find(std::string(key));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+const Value* Value::at_path(std::string_view dotted) const {
+  if (dotted.empty()) return this;
+  // Full-name match first: metric names themselves contain dots
+  // ("net.packets_sent"), so the longest tail that names a member wins.
+  if (const Value* direct = find(dotted)) return direct;
+  const std::size_t dot = dotted.find('.');
+  if (dot == std::string_view::npos) return nullptr;
+  const Value* head = find(dotted.substr(0, dot));
+  return head == nullptr ? nullptr : head->at_path(dotted.substr(dot + 1));
+}
+
+std::optional<Value> parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace malnet::obs::json

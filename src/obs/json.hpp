@@ -1,0 +1,46 @@
+// A minimal JSON parser: enough to validate and round-trip the files the
+// obs layer emits (metrics snapshots, Chrome traces) without an external
+// dependency. Used by the test suite and by `malnetctl json-check` (the CI
+// artifact validator). Not a general-purpose parser: no surrogate-pair
+// decoding (escapes are preserved verbatim), numbers parsed as double.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace malnet::obs::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr if absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Dotted-path lookup ("counters.sandbox_runs"); nullptr if any hop is
+  /// missing. Path segments never contain dots (obs metric names use '.'
+  /// only below the top-level maps, which this caller quotes per segment —
+  /// a segment matches greedily against full member names first).
+  [[nodiscard]] const Value* at_path(std::string_view dotted) const;
+};
+
+/// Parses a complete JSON document (surrounding whitespace allowed).
+/// Returns std::nullopt on any syntax error or trailing garbage.
+[[nodiscard]] std::optional<Value> parse(std::string_view text);
+
+}  // namespace malnet::obs::json

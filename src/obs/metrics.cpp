@@ -1,0 +1,152 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace malnet::obs {
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must be strictly ascending");
+  }
+}
+
+void Histogram::record(std::int64_t v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) {
+    auto [it, inserted] = histograms.try_emplace(name, h);
+    if (inserted) continue;
+    HistogramSnapshot& dst = it->second;
+    if (dst.bounds != h.bounds) {
+      throw std::invalid_argument("MetricsSnapshot::merge: histogram '" + name +
+                                  "' has mismatched bounds");
+    }
+    for (std::size_t i = 0; i < dst.counts.size(); ++i) dst.counts[i] += h.counts[i];
+    dst.sum += h.sum;
+    dst.count += h.count;
+  }
+}
+
+namespace {
+
+void append_json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+template <typename Map, typename Fn>
+void append_json_object(std::ostringstream& os, const Map& map, Fn value_fn) {
+  os << '{';
+  bool first = true;
+  for (const auto& [name, v] : map) {
+    if (!first) os << ',';
+    first = false;
+    append_json_string(os, name);
+    os << ':';
+    value_fn(v);
+  }
+  os << '}';
+}
+
+template <typename T>
+void append_json_array(std::ostringstream& os, const std::vector<T>& xs) {
+  os << '[';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) os << ',';
+    os << xs[i];
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":";
+  append_json_object(os, counters, [&os](std::uint64_t v) { os << v; });
+  os << ",\"gauges\":";
+  append_json_object(os, gauges, [&os](std::int64_t v) { os << v; });
+  os << ",\"histograms\":";
+  append_json_object(os, histograms, [&os](const HistogramSnapshot& h) {
+    os << "{\"bounds\":";
+    append_json_array(os, h.bounds);
+    os << ",\"counts\":";
+    append_json_array(os, h.counts);
+    os << ",\"sum\":" << h.sum << ",\"count\":" << h.count << '}';
+  });
+  os << '}';
+  return os.str();
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<std::int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<Histogram>(std::move(bounds)))
+              .first->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.counts.resize(h->bucket_count());
+    for (std::size_t i = 0; i < hs.counts.size(); ++i) hs.counts[i] = h->bucket(i);
+    hs.sum = h->sum();
+    hs.count = h->count();
+    snap.histograms.emplace(name, std::move(hs));
+  }
+  return snap;
+}
+
+}  // namespace malnet::obs

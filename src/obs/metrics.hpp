@@ -1,0 +1,136 @@
+// malnet::obs — the metrics registry.
+//
+// Named counters, gauges and fixed-bucket histograms with cheap thread-safe
+// increments (relaxed atomics), a deterministic snapshot type, and an
+// order-independent merge so ParallelStudy can aggregate per-shard
+// registries without breaking the jobs-invariance contract.
+//
+// Determinism rule (DESIGN.md §10): only sim-derived integer quantities go
+// into the registry — never wall-clock. The snapshot JSON of a merged study
+// is then a pure function of (config, shards), byte-identical for any
+// worker count. Wall-clock lives in obs::ProfileSnapshot and the tracer,
+// which make no such promise.
+//
+// Hot-path usage: Registry::counter() takes a mutex and a map lookup, so
+// callers on hot paths cache the returned reference (instrument pointers
+// are stable for the registry's lifetime) and pay only a relaxed
+// fetch_add per increment.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace malnet::obs {
+
+/// Monotonic event count. inc() is safe from any thread.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written level (active runs, queue depth at harvest, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket integer histogram: `bounds` are ascending inclusive upper
+/// bounds; one extra overflow bucket catches everything above the last
+/// bound. record() is a branchless-ish linear scan (bucket counts are
+/// small and fixed) plus two relaxed adds — no allocation, no lock.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void record(std::int64_t v);
+
+  [[nodiscard]] const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::int64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+struct HistogramSnapshot {
+  std::vector<std::int64_t> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
+  std::int64_t sum = 0;
+  std::uint64_t count = 0;
+};
+
+/// A point-in-time copy of a registry. Plain data, deterministic JSON
+/// rendering (keys sorted by std::map), and a commutative + associative
+/// merge: counters/gauges add key-wise, histograms add bucket-wise
+/// (identical bounds required).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Folds `other` in. Throws std::invalid_argument if a histogram name
+  /// collides with different bucket bounds.
+  void merge(const MetricsSnapshot& other);
+
+  /// Deterministic compact JSON:
+  /// {"counters":{...},"gauges":{...},"histograms":{"h":{"bounds":[...],
+  ///  "counts":[...],"sum":N,"count":N}}}
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Named-instrument registry. Creation is mutex-guarded; returned
+/// references stay valid (and lock-free to update) for the registry's
+/// lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// Returns the existing histogram if `name` was already registered (the
+  /// first registration's bounds win).
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<std::int64_t> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace malnet::obs

@@ -1,0 +1,19 @@
+// malnet::obs — umbrella for the observability layer: one Observer bundles
+// the metrics registry and the sim-time tracer. Each Pipeline (= one shard)
+// owns its own Observer, so instruments are updated from a single thread
+// and per-shard snapshots merge deterministically in shard order
+// (see core::ParallelStudy).
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace malnet::obs {
+
+struct Observer {
+  Registry registry;
+  Tracer tracer;
+};
+
+}  // namespace malnet::obs

@@ -1,0 +1,123 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+
+#include "util/simtime.hpp"
+
+namespace malnet::obs {
+
+namespace {
+std::int64_t wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void Tracer::push(TraceEvent ev) {
+  if (events_.size() >= cap_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::instant(std::string name, std::string category, std::string args_json) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.phase = 'i';
+  ev.sim_us = now_sim_us();
+  ev.wall_us = wall_now_us();
+  ev.args_json = std::move(args_json);
+  push(std::move(ev));
+}
+
+void Tracer::complete(std::string name, std::string category,
+                      std::int64_t start_sim_us, std::string args_json) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.phase = 'X';
+  ev.sim_us = start_sim_us;
+  ev.dur_us = now_sim_us() - start_sim_us;
+  ev.wall_us = wall_now_us();
+  ev.args_json = std::move(args_json);
+  push(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::take() {
+  std::vector<TraceEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ev : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+       << json_escape(ev.category) << "\",\"ph\":\"" << ev.phase
+       << "\",\"ts\":" << ev.sim_us;
+    if (ev.phase == 'X') os << ",\"dur\":" << ev.dur_us;
+    os << ",\"pid\":" << ev.pid << ",\"tid\":\"" << json_escape(ev.category)
+       << "\"";
+    // Instant events need an explicit scope for Chrome's renderer.
+    if (ev.phase == 'i') os << ",\"s\":\"t\"";
+    os << ",\"args\":{\"wall_us\":" << ev.wall_us;
+    if (!ev.args_json.empty()) os << ',' << ev.args_json;
+    os << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_timeline(std::ostream& os, const std::vector<TraceEvent>& events) {
+  std::vector<const TraceEvent*> sorted;
+  sorted.reserve(events.size());
+  for (const auto& ev : events) sorted.push_back(&ev);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->sim_us != b->sim_us ? a->sim_us < b->sim_us
+                                                  : a->pid < b->pid;
+                   });
+  for (const auto* ev : sorted) {
+    os << util::to_string(util::SimTime{ev->sim_us}) << "  shard" << ev->pid
+       << "  [" << ev->category << "] " << ev->name;
+    if (ev->phase == 'X') {
+      os << " (" << util::to_string(util::Duration{ev->dur_us}) << ')';
+    }
+    if (!ev->args_json.empty()) os << "  {" << ev->args_json << '}';
+    os << '\n';
+  }
+}
+
+}  // namespace malnet::obs

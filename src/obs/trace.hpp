@@ -1,0 +1,93 @@
+// malnet::obs — the sim-time tracer.
+//
+// Lightweight span/event records (sample analysed, C2 probe, live run,
+// DDoS detection, probe-campaign round, ...) stamped with both simulated
+// time and wall-clock, exportable as Chrome trace_event JSON (open in
+// chrome://tracing or https://ui.perfetto.dev) and as a plain-text
+// timeline.
+//
+// The Chrome export maps simulated microseconds to the "ts"/"dur" fields,
+// the shard index to "pid" and the event category to "tid", so a sharded
+// study renders as one process lane per shard with per-subsystem tracks.
+// Wall-clock is carried in args ("wall_us") — it is informational and NOT
+// covered by the determinism contract (see obs/metrics.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace malnet::obs {
+
+struct TraceEvent {
+  std::string name;      // "sandbox:observe", "campaign-round", ...
+  std::string category;  // track: "sandbox", "pipeline", "campaign", ...
+  char phase = 'i';      // 'X' = complete (span), 'i' = instant
+  std::int64_t sim_us = 0;   // simulated start time
+  std::int64_t dur_us = 0;   // simulated duration ('X' only)
+  std::int64_t wall_us = 0;  // wall-clock at record time (epoch µs)
+  int pid = 0;               // shard index (set by the study merge)
+  /// Extra fields, pre-rendered as the *inside* of a JSON object, e.g.
+  /// "\"packets\":12,\"mode\":\"observe\"". Empty means no args.
+  std::string args_json;
+};
+
+/// Per-pipeline (single-threaded) event recorder. Disabled by default so
+/// untraced runs pay one branch per record call and buffer nothing.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// The tracer reads simulated time through this hook (set by the owning
+  /// pipeline to its scheduler's clock). Unset == sim time 0.
+  void set_sim_clock(std::function<std::int64_t()> clock) {
+    sim_clock_ = std::move(clock);
+  }
+  [[nodiscard]] std::int64_t now_sim_us() const {
+    return sim_clock_ ? sim_clock_() : 0;
+  }
+
+  /// Buffered-event cap; once hit, further events are counted as dropped
+  /// instead of buffered (year-long traced studies stay bounded).
+  void set_capacity(std::size_t cap) { cap_ = cap; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Records an instant event at the current sim time.
+  void instant(std::string name, std::string category, std::string args_json = {});
+
+  /// Records a span from `start_sim_us` to the current sim time.
+  void complete(std::string name, std::string category, std::int64_t start_sim_us,
+                std::string args_json = {});
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  /// Moves the buffer out (used at end-of-run to hand events to results).
+  [[nodiscard]] std::vector<TraceEvent> take();
+
+ private:
+  void push(TraceEvent ev);
+
+  bool enabled_ = false;
+  std::function<std::int64_t()> sim_clock_;
+  std::vector<TraceEvent> events_;
+  std::size_t cap_ = 1u << 20;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Chrome trace_event JSON ({"traceEvents":[...]}). Events are written in
+/// the order given; Chrome/Perfetto sort by ts themselves.
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events);
+
+/// Human-readable timeline, one line per event, sorted by (sim time, pid).
+void write_timeline(std::ostream& os, const std::vector<TraceEvent>& events);
+
+/// JSON string escaping (shared with the exporters; exposed for reuse).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace malnet::obs

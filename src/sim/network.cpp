@@ -45,6 +45,7 @@ Duration Network::latency(net::Ipv4 a, net::Ipv4 b) const {
 void Network::transmit(net::Packet p) {
   p.time = now();
   ++tx_count_;
+  if (p.proto == net::Protocol::kUdp && p.dst_port == 53) ++dns_count_;
   if (tap_) tap_(p);
 
   if (cfg_.loss > 0.0 && rng_.chance(cfg_.loss)) {
@@ -53,7 +54,10 @@ void Network::transmit(net::Packet p) {
   }
 
   Host* dst = host_at(p.dst);
-  if (dst == nullptr) return;  // dark address space: the packet vanishes
+  if (dst == nullptr) {
+    ++dark_count_;
+    return;  // dark address space: the packet vanishes
+  }
 
   const std::uint64_t pair_key =
       (static_cast<std::uint64_t>(p.src.value) << 32) | p.dst.value;

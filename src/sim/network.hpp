@@ -65,6 +65,10 @@ class Network {
   [[nodiscard]] std::uint64_t packets_transmitted() const { return tx_count_; }
   [[nodiscard]] std::uint64_t packets_delivered() const { return rx_count_; }
   [[nodiscard]] std::uint64_t packets_lost() const { return loss_count_; }
+  /// Packets sent to unregistered (dark) address space.
+  [[nodiscard]] std::uint64_t packets_dark() const { return dark_count_; }
+  /// Network-level DNS query count (UDP datagrams to port 53).
+  [[nodiscard]] std::uint64_t dns_queries() const { return dns_count_; }
 
  private:
   EventScheduler& sched_;
@@ -78,6 +82,8 @@ class Network {
   std::uint64_t tx_count_ = 0;
   std::uint64_t rx_count_ = 0;
   std::uint64_t loss_count_ = 0;
+  std::uint64_t dark_count_ = 0;
+  std::uint64_t dns_count_ = 0;
 };
 
 /// Observes all packets entering or leaving one host (sandbox capture tap).

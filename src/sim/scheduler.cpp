@@ -1,12 +1,13 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace malnet::sim {
 
 EventId EventScheduler::at(SimTime t, std::function<void()> fn) {
   const EventId id = next_id_++;
-  queue_.push(Ev{std::max(t, now_), seq_++, id, std::move(fn)});
+  queue_.push(Ev{std::max(t, now_), seq_++, id, std::move(fn), current_tag_});
   ++live_;
   return id;
 }
@@ -38,7 +39,20 @@ bool EventScheduler::pop_one() {
   now_ = ev.t;
   if (live_ > 0) --live_;
   ++executed_;
-  ev.fn();
+  // Restore the event's phase as ambient so anything it schedules inherits
+  // the causality chain's attribution.
+  current_tag_ = ev.tag;
+  ++executed_by_tag_[ev.tag];
+  if (wall_profiling_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ev.fn();
+    wall_ns_by_tag_[ev.tag] += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  } else {
+    ev.fn();
+  }
   return true;
 }
 

@@ -4,6 +4,7 @@
 // events fire in insertion order, which makes every run deterministic.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -19,6 +20,13 @@ using util::SimTime;
 
 /// Token used to cancel a scheduled event.
 using EventId = std::uint64_t;
+
+/// Phase attribution tag (see obs/profile.hpp for the pipeline's mapping).
+/// Events inherit the ambient tag at schedule time, and firing an event
+/// restores its tag as ambient — so an asynchronous causality chain keeps
+/// the tag of whatever phase started it.
+using PhaseTag = std::uint8_t;
+inline constexpr std::size_t kMaxPhaseTags = 8;
 
 class EventScheduler {
  public:
@@ -47,12 +55,31 @@ class EventScheduler {
   [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+  // --- Phase attribution (observability) ---------------------------------
+  [[nodiscard]] PhaseTag phase_tag() const { return current_tag_; }
+  /// Sets the ambient tag stamped onto subsequently scheduled events.
+  /// Out-of-range tags fold into tag 0 ("other").
+  void set_phase_tag(PhaseTag tag) {
+    current_tag_ = tag < kMaxPhaseTags ? tag : PhaseTag{0};
+  }
+  /// Per-event wall-clock attribution (two steady_clock reads per event);
+  /// off by default — per-tag *event counts* are always maintained.
+  void set_wall_profiling(bool on) { wall_profiling_ = on; }
+  [[nodiscard]] bool wall_profiling() const { return wall_profiling_; }
+  [[nodiscard]] std::uint64_t executed_by_tag(PhaseTag tag) const {
+    return tag < kMaxPhaseTags ? executed_by_tag_[tag] : 0;
+  }
+  [[nodiscard]] std::uint64_t wall_ns_by_tag(PhaseTag tag) const {
+    return tag < kMaxPhaseTags ? wall_ns_by_tag_[tag] : 0;
+  }
+
  private:
   struct Ev {
     SimTime t;
     std::uint64_t seq;
     EventId id;
     std::function<void()> fn;
+    PhaseTag tag;
     bool operator>(const Ev& o) const {
       return t != o.t ? t > o.t : seq > o.seq;
     }
@@ -68,6 +95,27 @@ class EventScheduler {
   EventId next_id_ = 1;
   std::size_t live_ = 0;
   std::uint64_t executed_ = 0;
+  PhaseTag current_tag_ = 0;
+  bool wall_profiling_ = false;
+  std::array<std::uint64_t, kMaxPhaseTags> executed_by_tag_{};
+  std::array<std::uint64_t, kMaxPhaseTags> wall_ns_by_tag_{};
+};
+
+/// RAII ambient-tag switch: events scheduled inside the scope (and their
+/// whole downstream chains) are attributed to `tag`.
+class ScopedPhaseTag {
+ public:
+  ScopedPhaseTag(EventScheduler& sched, PhaseTag tag)
+      : sched_(sched), prev_(sched.phase_tag()) {
+    sched_.set_phase_tag(tag);
+  }
+  ~ScopedPhaseTag() { sched_.set_phase_tag(prev_); }
+  ScopedPhaseTag(const ScopedPhaseTag&) = delete;
+  ScopedPhaseTag& operator=(const ScopedPhaseTag&) = delete;
+
+ private:
+  EventScheduler& sched_;
+  PhaseTag prev_;
 };
 
 }  // namespace malnet::sim

@@ -1,12 +1,13 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <iostream>
 #include <mutex>
 
 namespace malnet::util {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+std::atomic<LogLevel> g_level{LogLevel::kOff};
 const char* name(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "debug";
@@ -19,12 +20,24 @@ const char* name(LogLevel l) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+std::optional<LogLevel> log_level_from_string(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
 
 void log_line(LogLevel level, std::string_view component, std::string_view message) {
-  if (level < g_level) return;
-  // Parallel shard pipelines log concurrently; serialize whole lines.
+  if (level < log_level()) return;
+  // Parallel shard pipelines log concurrently; serialize whole lines so
+  // shard output never interleaves mid-line.
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
   std::cerr << '[' << name(level) << "] " << component << ": " << message << '\n';

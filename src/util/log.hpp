@@ -2,16 +2,24 @@
 // turn it on to narrate the pipeline.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace malnet::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 /// Process-wide log threshold. Messages below the threshold are dropped.
+/// Stored atomically: parallel shard pipelines may read it while the main
+/// thread adjusts it (e.g. `malnetctl --log-level`).
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Parses "debug" | "info" | "warn" | "error" | "off" (the `--log-level`
+/// spellings); std::nullopt for anything else.
+[[nodiscard]] std::optional<LogLevel> log_level_from_string(std::string_view name);
 
 /// Emits one line to stderr: "[level] component: message".
 void log_line(LogLevel level, std::string_view component, std::string_view message);

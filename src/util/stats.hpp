@@ -19,7 +19,8 @@ class Cdf {
 
   void add(double x);
 
-  [[nodiscard]] std::size_t count() const { return sorted_ ? data_.size() : data_.size(); }
+  /// Number of samples; independent of whether the lazy sort has run.
+  [[nodiscard]] std::size_t count() const { return data_.size(); }
   [[nodiscard]] bool empty() const { return data_.empty(); }
   [[nodiscard]] double mean() const;
   [[nodiscard]] double min() const;

@@ -1,0 +1,395 @@
+// malnet::obs — metrics registry, sim-time tracer, per-phase profiler and
+// the minimal JSON parser, plus the end-to-end determinism contract: a
+// sharded study's merged metrics snapshot is a pure function of
+// (config, shards), byte-identical for any worker count, and its headline
+// counters equal the StudyResults fields they shadow.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/parallel_study.hpp"
+#include "core/pipeline.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "sim/scheduler.hpp"
+
+using namespace malnet;
+using namespace malnet::obs;
+
+// --- metrics -----------------------------------------------------------------
+
+TEST(Metrics, CounterAndGaugeSemantics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  Gauge g;
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  g.add(10);
+  EXPECT_EQ(g.value(), 3);
+}
+
+TEST(Metrics, HistogramBucketsAreInclusiveUpperBounds) {
+  Histogram h({0, 10, 100});
+  ASSERT_EQ(h.bucket_count(), 4u);  // three bounds + overflow
+  h.record(-5);   // <= 0
+  h.record(0);    // <= 0
+  h.record(1);    // <= 10
+  h.record(10);   // <= 10
+  h.record(11);   // <= 100
+  h.record(999);  // overflow
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), -5 + 0 + 1 + 10 + 11 + 999);
+}
+
+TEST(Metrics, RegistryReturnsStableInstruments) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+
+  // First registration's bounds win; a second registration with different
+  // bounds hands back the existing histogram.
+  Histogram& h1 = reg.histogram("h", {1, 2});
+  Histogram& h2 = reg.histogram("h", {100, 200, 300});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Metrics, SnapshotCapturesAndRendersDeterministically) {
+  Registry reg;
+  reg.counter("b").inc(2);
+  reg.counter("a").inc(1);
+  reg.gauge("g").set(-4);
+  reg.histogram("h", {10}).record(7);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("a"), 1u);
+  EXPECT_EQ(snap.counters.at("b"), 2u);
+  EXPECT_EQ(snap.gauges.at("g"), -4);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+
+  const std::string json = snap.to_json();
+  EXPECT_EQ(json, reg.snapshot().to_json()) << "rendering must be stable";
+  // Keys render sorted, so "a" precedes "b" regardless of creation order.
+  EXPECT_LT(json.find("\"a\""), json.find("\"b\""));
+
+  const auto doc = json::parse(json);
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_NE(doc->at_path("counters.a"), nullptr);
+  EXPECT_EQ(doc->at_path("counters.a")->number, 1.0);
+  EXPECT_EQ(doc->at_path("gauges.g")->number, -4.0);
+  ASSERT_NE(doc->at_path("histograms.h"), nullptr);
+  EXPECT_TRUE(doc->at_path("histograms.h.bounds")->is_array());
+}
+
+namespace {
+
+MetricsSnapshot make_snapshot(std::uint64_t a, std::uint64_t shared,
+                              std::int64_t hist_value) {
+  Registry reg;
+  reg.counter("only_" + std::to_string(a)).inc(a);
+  reg.counter("shared").inc(shared);
+  reg.gauge("level").add(static_cast<std::int64_t>(shared));
+  reg.histogram("dist", {0, 10, 100}).record(hist_value);
+  return reg.snapshot();
+}
+
+}  // namespace
+
+TEST(Metrics, MergeIsOrderIndependentAndAssociative) {
+  const MetricsSnapshot s1 = make_snapshot(1, 10, 5);
+  const MetricsSnapshot s2 = make_snapshot(2, 20, 50);
+  const MetricsSnapshot s3 = make_snapshot(3, 30, 500);
+
+  MetricsSnapshot abc = s1;
+  abc.merge(s2);
+  abc.merge(s3);
+
+  MetricsSnapshot cba = s3;
+  cba.merge(s2);
+  cba.merge(s1);
+
+  MetricsSnapshot a_bc = s1;
+  {
+    MetricsSnapshot bc = s2;
+    bc.merge(s3);
+    a_bc.merge(bc);
+  }
+
+  EXPECT_EQ(abc.to_json(), cba.to_json());
+  EXPECT_EQ(abc.to_json(), a_bc.to_json());
+  EXPECT_EQ(abc.counters.at("shared"), 60u);
+  EXPECT_EQ(abc.histograms.at("dist").count, 3u);
+  EXPECT_EQ(abc.histograms.at("dist").sum, 555);
+}
+
+TEST(Metrics, MergeRejectsMismatchedHistogramBounds) {
+  Registry r1, r2;
+  r1.histogram("h", {1, 2}).record(1);
+  r2.histogram("h", {5}).record(1);
+  MetricsSnapshot a = r1.snapshot();
+  const MetricsSnapshot b = r2.snapshot();
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+// --- tracer ------------------------------------------------------------------
+
+TEST(Trace, DisabledTracerBuffersNothing) {
+  Tracer t;
+  t.instant("x", "cat");
+  t.complete("y", "cat", 0);
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Trace, RecordsAgainstTheSimClock) {
+  Tracer t;
+  std::int64_t sim_now = 1'000;
+  t.set_enabled(true);
+  t.set_sim_clock([&sim_now]() { return sim_now; });
+
+  t.instant("boot", "pipeline", "\"k\":1");
+  sim_now = 5'000;
+  t.complete("run", "sandbox", 1'000);
+
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[0].phase, 'i');
+  EXPECT_EQ(t.events()[0].sim_us, 1'000);
+  EXPECT_EQ(t.events()[1].phase, 'X');
+  EXPECT_EQ(t.events()[1].sim_us, 1'000);
+  EXPECT_EQ(t.events()[1].dur_us, 4'000);
+}
+
+TEST(Trace, CapacityBoundsTheBuffer) {
+  Tracer t;
+  t.set_enabled(true);
+  t.set_capacity(2);
+  for (int i = 0; i < 5; ++i) t.instant("e", "cat");
+  EXPECT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.dropped(), 3u);
+}
+
+TEST(Trace, ChromeExportRoundTripsThroughTheJsonParser) {
+  Tracer t;
+  t.set_enabled(true);
+  std::int64_t sim_now = 42;
+  t.set_sim_clock([&sim_now]() { return sim_now; });
+  t.instant("quo\"ted\n", "pipeline", "\"c2\":\"60.1.2.3:23\"");
+  sim_now = 99;
+  t.complete("span", "sandbox", 42);
+
+  std::ostringstream os;
+  write_chrome_trace(os, t.events());
+  const auto doc = json::parse(os.str());
+  ASSERT_TRUE(doc.has_value()) << os.str();
+  const json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+
+  const json::Value& instant = events->array[0];
+  EXPECT_EQ(instant.find("ph")->str, "i");
+  EXPECT_EQ(instant.find("ts")->number, 42.0);
+  ASSERT_NE(instant.find("args"), nullptr);
+  EXPECT_EQ(instant.find("args")->find("c2")->str, "60.1.2.3:23");
+
+  const json::Value& span = events->array[1];
+  EXPECT_EQ(span.find("ph")->str, "X");
+  EXPECT_EQ(span.find("dur")->number, 57.0);
+  EXPECT_EQ(span.find("cat")->str, "sandbox");
+
+  std::ostringstream timeline;
+  write_timeline(timeline, t.events());
+  EXPECT_NE(timeline.str().find("span"), std::string::npos);
+}
+
+// --- json parser -------------------------------------------------------------
+
+TEST(Json, ParsesScalarsArraysAndObjects) {
+  const auto doc = json::parse(R"({"n":-1.5e2,"s":"a\"b","t":true,"z":null,
+                                   "arr":[1,2,3],"o":{"k":1}})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("n")->number, -150.0);
+  EXPECT_EQ(doc->find("s")->str, "a\"b");
+  EXPECT_TRUE(doc->find("t")->boolean);
+  EXPECT_EQ(doc->find("z")->type, json::Value::Type::kNull);
+  EXPECT_EQ(doc->find("arr")->array.size(), 3u);
+  EXPECT_EQ(doc->at_path("o.k")->number, 1.0);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json::parse("{").has_value());
+  EXPECT_FALSE(json::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(json::parse("[1,2,]").has_value());
+  EXPECT_FALSE(json::parse("{} trailing").has_value());
+  EXPECT_FALSE(json::parse("\"unterminated").has_value());
+}
+
+TEST(Json, DottedPathPrefersFullMemberNames) {
+  // Metric names contain dots ("net.packets_sent"); at_path must try the
+  // whole remainder as one member before splitting at the first dot.
+  const auto doc = json::parse(
+      R"({"counters":{"net.packets_sent":7,"net":{"packets_sent":1}}})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_NE(doc->at_path("counters.net.packets_sent"), nullptr);
+  EXPECT_EQ(doc->at_path("counters.net.packets_sent")->number, 7.0);
+  EXPECT_EQ(doc->at_path("counters.missing"), nullptr);
+}
+
+// --- profiler ----------------------------------------------------------------
+
+TEST(Profile, ScopedTimerAccumulates) {
+  ProfileSnapshot p;
+  {
+    ScopedTimer t(p[Phase::kFinalize]);
+  }
+  {
+    ScopedTimer t(p[Phase::kFinalize]);
+  }
+  EXPECT_EQ(p[Phase::kFinalize].entries, 2u);
+  EXPECT_EQ(p.total_sim_events(), 0u);
+}
+
+TEST(Profile, MergeAddsAndTableRenders) {
+  ProfileSnapshot a, b;
+  a[Phase::kSandbox] = {100, 10, 5, 1};
+  b[Phase::kSandbox] = {50, 4, 2, 1};
+  b[Phase::kCampaign] = {7, 3, 1, 1};
+  a.merge(b);
+  EXPECT_EQ(a[Phase::kSandbox].wall_ns, 150u);
+  EXPECT_EQ(a[Phase::kSandbox].sim_events, 14u);
+  EXPECT_EQ(a[Phase::kSandbox].ops, 7u);
+  EXPECT_EQ(a.total_sim_events(), 17u);
+
+  const std::string table = a.render_table();
+  EXPECT_NE(table.find("sandbox"), std::string::npos);
+  EXPECT_NE(table.find("campaign"), std::string::npos);
+  // Idle phases are not rendered.
+  EXPECT_EQ(table.find("live-watch"), std::string::npos);
+
+  const auto doc = json::parse(a.to_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->at_path("phases.sandbox.sim_events")->number, 14.0);
+}
+
+// --- scheduler phase tags ----------------------------------------------------
+
+TEST(PhaseTags, EventsInheritAndRestoreTheAmbientTag) {
+  sim::EventScheduler sched;
+  std::uint64_t chained_tag = 99;
+  {
+    sim::ScopedPhaseTag tag(sched, static_cast<sim::PhaseTag>(Phase::kProbe));
+    sched.after(sim::Duration::seconds(1), [&sched, &chained_tag]() {
+      // Firing restored kProbe as ambient, so this chained event inherits it.
+      sched.after(sim::Duration::seconds(1),
+                  [&sched, &chained_tag]() { chained_tag = sched.phase_tag(); });
+    });
+  }
+  ASSERT_EQ(sched.phase_tag(), 0) << "scope must restore the previous tag";
+  sched.after(sim::Duration::seconds(1), []() {});  // untagged
+  sched.run();
+  EXPECT_EQ(chained_tag, static_cast<std::uint64_t>(Phase::kProbe));
+  EXPECT_EQ(sched.executed_by_tag(static_cast<sim::PhaseTag>(Phase::kProbe)), 2u);
+  EXPECT_EQ(sched.executed_by_tag(0), 1u);
+  EXPECT_EQ(sched.executed(), 3u);
+}
+
+TEST(PhaseTags, OutOfRangeTagsFoldToOther) {
+  sim::EventScheduler sched;
+  sched.set_phase_tag(200);
+  EXPECT_EQ(sched.phase_tag(), 0);
+}
+
+// --- end-to-end: the sharded-study determinism contract ----------------------
+
+namespace {
+
+core::ParallelStudyConfig small_study(int shards, int jobs) {
+  core::ParallelStudyConfig cfg;
+  cfg.base.seed = 22;
+  cfg.base.world.total_samples = 120;
+  cfg.base.run_probe_campaign = false;
+  cfg.shards = shards;
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ObsStudy, MetricsAreByteIdenticalAcrossWorkerCounts) {
+  const auto serial = core::ParallelStudy(small_study(3, 1)).run();
+  const auto contended = core::ParallelStudy(small_study(3, 3)).run();
+  EXPECT_EQ(serial.metrics.to_json(), contended.metrics.to_json())
+      << "metrics depend on thread scheduling";
+  ASSERT_EQ(serial.shard_metrics.size(), 3u);
+  ASSERT_EQ(contended.shard_metrics.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(serial.shard_metrics[i].to_json(),
+              contended.shard_metrics[i].to_json())
+        << "shard " << i;
+  }
+}
+
+TEST(ObsStudy, MergedCountersEqualStudyResultsFields) {
+  const auto results = core::ParallelStudy(small_study(3, 3)).run();
+  const auto& c = results.metrics.counters;
+  EXPECT_EQ(c.at("sandbox_runs"), results.sandbox_runs);
+  EXPECT_EQ(c.at("sim_events"), results.sim_events);
+  EXPECT_EQ(c.at("samples_analysed"), results.d_samples.size());
+  EXPECT_EQ(c.at("non_mips_skipped"), results.non_mips_skipped);
+  EXPECT_EQ(c.at("ddos_records"), results.d_ddos.size());
+
+  // The merged snapshot is exactly the shard snapshots folded in order.
+  MetricsSnapshot refolded = results.shard_metrics[0];
+  for (std::size_t i = 1; i < results.shard_metrics.size(); ++i) {
+    refolded.merge(results.shard_metrics[i]);
+  }
+  EXPECT_EQ(refolded.to_json(), results.metrics.to_json());
+}
+
+TEST(ObsStudy, TraceMergeLabelsShardsAndExportParses) {
+  auto cfg = small_study(2, 2);
+  cfg.base.world.total_samples = 60;
+  cfg.base.trace = true;
+  const auto results = core::ParallelStudy(cfg).run();
+  ASSERT_FALSE(results.trace.empty());
+  bool saw_shard[2] = {false, false};
+  for (const auto& e : results.trace) {
+    ASSERT_GE(e.pid, 0);
+    ASSERT_LT(e.pid, 2);
+    saw_shard[e.pid] = true;
+  }
+  EXPECT_TRUE(saw_shard[0]);
+  EXPECT_TRUE(saw_shard[1]);
+
+  std::ostringstream os;
+  write_chrome_trace(os, results.trace);
+  const auto doc = json::parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("traceEvents")->array.size(), results.trace.size());
+}
+
+TEST(ObsStudy, ProfileAttributesTheEventLoop) {
+  auto cfg = small_study(1, 1);
+  cfg.base.world.total_samples = 60;
+  cfg.base.profile_wall = true;
+  const auto results = core::ParallelStudy(cfg).run();
+  const auto& prof = results.profile;
+  EXPECT_EQ(prof.total_sim_events(), results.sim_events);
+  EXPECT_GT(prof[Phase::kSandbox].sim_events, 0u);
+  EXPECT_EQ(prof[Phase::kSandbox].ops, results.sandbox_runs);
+  EXPECT_GT(prof[Phase::kCollect].entries, 0u);
+  EXPECT_GT(prof.total_wall_ns(), 0u);
+}

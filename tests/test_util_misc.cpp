@@ -208,6 +208,23 @@ TEST(Cdf, QuantileAtZeroIsSmallestSample) {
   EXPECT_DOUBLE_EQ(c.quantile(1e-9), 1.0);
 }
 
+TEST(Cdf, CountIsStableAcrossSortStates) {
+  // Regression: count() used to branch on the lazy-sort flag (a nonsense
+  // ternary with identical arms); it must report the sample count in every
+  // add()/query interleaving, sorted or not.
+  Cdf c;
+  EXPECT_EQ(c.count(), 0u);
+  c.add(3.0);
+  c.add(1.0);
+  EXPECT_EQ(c.count(), 2u);  // unsorted state
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 3.0);
+  EXPECT_EQ(c.count(), 2u);  // sorted state, unchanged
+  c.add(2.0);
+  EXPECT_EQ(c.count(), 3u);  // dirty again after another add
+  EXPECT_DOUBLE_EQ(c.at(2.0), 2.0 / 3.0);
+  EXPECT_EQ(c.count(), 3u);
+}
+
 // --- thread_pool -------------------------------------------------------------
 
 TEST(ThreadPool, RunsEveryJobExactlyOnce) {

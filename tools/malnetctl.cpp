@@ -25,6 +25,8 @@
 #include "emu/sandbox.hpp"
 #include "mal/binary.hpp"
 #include "mal/labels.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
 #include "report/claims.hpp"
 #include "report/dataset_io.hpp"
 #include "report/digest.hpp"
@@ -47,13 +49,20 @@ using namespace malnet;
       "  analyze <file.mbf> [--pcap <out.pcap>]\n"
       "  study [--samples N] [--seed N] [--shards N] [--jobs N] [--no-probe]\n"
       "        [--claims] [--save-datasets <file.mds>]\n"
+      "        [--metrics-out <m.json>] [--trace-out <t.json>] [--profile]\n"
       "        (--shards splits the study into N deterministic seed shards;\n"
       "         --jobs bounds worker threads and never changes the output.\n"
-      "         --jobs alone implies --shards equal to the job count.)\n"
+      "         --jobs alone implies --shards equal to the job count.\n"
+      "         --metrics-out writes the merged registry snapshot (JSON,\n"
+      "         byte-identical for any --jobs); --trace-out writes a Chrome\n"
+      "         trace_event file for chrome://tracing or ui.perfetto.dev;\n"
+      "         --profile prints the per-phase table.)\n"
       "  report <file.mds>   (re-render tables from a saved dataset artifact)\n"
       "  dossier <file.mds> <c2-address|sample-sha>\n"
       "  digest <file.mds> [--week N]\n"
-      "  export-rules [--samples N] [--seed N] --out <file.rules>\n";
+      "  export-rules [--samples N] [--seed N] --out <file.rules>\n"
+      "  json-check <file.json> [dotted.key ...]   (CI artifact validator)\n"
+      "global: --log-level <debug|info|warn|error|off>\n";
   std::exit(2);
 }
 
@@ -90,7 +99,7 @@ Args parse_args(int argc, char** argv, int first) {
     const std::string a = argv[i];
     if (a.rfind("--", 0) == 0) {
       const std::string key = a.substr(2);
-      if (key == "no-probe" || key == "claims") {
+      if (key == "no-probe" || key == "claims" || key == "profile") {
         args.flags[key] = "1";
       } else if (i + 1 < argc) {
         args.flags[key] = argv[++i];
@@ -224,6 +233,8 @@ core::StudyResults run_study(const Args& args) {
   cfg.base.seed = std::stoull(args.get("seed", "22"));
   if (args.has("samples")) cfg.base.world.total_samples = std::stoi(args.get("samples"));
   if (args.has("no-probe")) cfg.base.run_probe_campaign = false;
+  cfg.base.trace = args.has("trace-out");
+  cfg.base.profile_wall = args.has("profile");
   cfg.jobs = std::stoi(args.get("jobs", "0"));
   // --jobs alone still parallelizes: the study splits into one shard per job.
   cfg.shards = std::stoi(args.get("shards", cfg.jobs > 0 ? args.get("jobs") : "1"));
@@ -231,12 +242,29 @@ core::StudyResults run_study(const Args& args) {
 }
 
 int cmd_study(const Args& args) {
-  util::set_log_level(util::LogLevel::kInfo);
+  // An explicit --log-level wins; otherwise the study narrates at info.
+  if (!args.has("log-level")) util::set_log_level(util::LogLevel::kInfo);
   const auto results = run_study(args);
-  util::set_log_level(util::LogLevel::kOff);
+  if (!args.has("log-level")) util::set_log_level(util::LogLevel::kOff);
   if (args.has("save-datasets")) {
     report::save_datasets(results, args.get("save-datasets"));
     std::cout << "datasets saved to " << args.get("save-datasets") << "\n";
+  }
+  if (args.has("metrics-out")) {
+    std::ofstream out(args.get("metrics-out"));
+    if (!out) throw std::runtime_error("cannot write " + args.get("metrics-out"));
+    out << results.metrics.to_json() << '\n';
+    std::cout << "metrics written to " << args.get("metrics-out") << "\n";
+  }
+  if (args.has("trace-out")) {
+    std::ofstream out(args.get("trace-out"));
+    if (!out) throw std::runtime_error("cannot write " + args.get("trace-out"));
+    obs::write_chrome_trace(out, results.trace);
+    std::cout << "trace written to " << args.get("trace-out") << " ("
+              << results.trace.size() << " events)\n";
+  }
+  if (args.has("profile")) {
+    std::cout << results.profile.render_table();
   }
   // Every world copies the one standard AS database, so report rendering
   // does not need the (possibly sharded, already destroyed) pipelines.
@@ -299,6 +327,28 @@ int cmd_digest(const Args& args) {
   return 0;
 }
 
+int cmd_json_check(const Args& args) {
+  if (args.positional.empty()) usage();
+  const auto& path = args.positional[0];
+  const auto bytes = read_file(path);
+  const std::string text(bytes.begin(), bytes.end());
+  const auto doc = obs::json::parse(text);
+  if (!doc) {
+    std::cerr << path << ": invalid JSON\n";
+    return 1;
+  }
+  int missing = 0;
+  for (std::size_t i = 1; i < args.positional.size(); ++i) {
+    if (doc->at_path(args.positional[i]) == nullptr) {
+      std::cerr << path << ": missing key " << args.positional[i] << '\n';
+      ++missing;
+    }
+  }
+  if (missing > 0) return 1;
+  std::cout << path << ": ok\n";
+  return 0;
+}
+
 int cmd_export_rules(const Args& args) {
   const auto results = run_study(args);
   const auto rules = report::export_snort_rules(results);
@@ -316,6 +366,15 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   const Args args = parse_args(argc, argv, 2);
+  if (args.has("log-level")) {
+    const auto level = util::log_level_from_string(args.get("log-level"));
+    if (!level) {
+      std::cerr << "bad --log-level '" << args.get("log-level")
+                << "' (want debug|info|warn|error|off)\n";
+      return 2;
+    }
+    util::set_log_level(*level);
+  }
   try {
     if (cmd == "forge") return cmd_forge(args);
     if (cmd == "inspect") return cmd_inspect(args);
@@ -325,6 +384,7 @@ int main(int argc, char** argv) {
     if (cmd == "dossier") return cmd_dossier(args);
     if (cmd == "digest") return cmd_digest(args);
     if (cmd == "export-rules") return cmd_export_rules(args);
+    if (cmd == "json-check") return cmd_json_check(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
