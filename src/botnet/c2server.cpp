@@ -33,7 +33,7 @@ void C2Server::arm_toggle() {
 }
 
 void C2Server::reroll_listening() {
-  if (dormant_) return;
+  if (dormant_ || crashed_) return;
   force_listening(rng_.chance(cfg_.accept_prob));
 }
 
@@ -220,6 +220,25 @@ void C2Server::schedule_attacks(sim::TcpConn& conn) {
     });
     at = at + sim::Duration::minutes(static_cast<std::int64_t>(rng_.uniform(8, 25)));
   }
+}
+
+void C2Server::crash(sim::Duration outage) {
+  util::log_line(util::LogLevel::kDebug, "c2server",
+                 net::to_string(endpoint()) + " crash at " +
+                 util::to_string(now()) + " outage=" +
+                 std::to_string(outage.us / 1'000'000) + "s");
+  ++crashes_;
+  crashed_ = true;
+  // reset() does not fire the local on_close handler, so the session table
+  // must be dropped by hand — and before the aborts, so no handler that
+  // does run can observe a half-dead session.
+  sessions_state_.clear();
+  abort_all_connections();
+  force_listening(false);
+  schedule_safe(outage, [this]() {
+    crashed_ = false;
+    reroll_listening();  // no-op if the crash overlapped a dormancy window
+  });
 }
 
 void C2Server::enter_dormancy() {

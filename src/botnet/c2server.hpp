@@ -66,6 +66,14 @@ class C2Server : public sim::Host {
   /// at lifecycle boundaries).
   void force_listening(bool on);
 
+  /// Fault-injection entry point: the actor dies mid-flight. All live
+  /// sessions are aborted (RST, no graceful close), the listener goes down,
+  /// and the server comes back after `outage` — re-rolling its duty cycle
+  /// unless the crash landed inside a dormancy window.
+  void crash(sim::Duration outage);
+
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+
  private:
   struct Session {
     std::uint64_t serial = 0;  // guards scheduled work against pointer reuse
@@ -88,6 +96,8 @@ class C2Server : public sim::Host {
   C2ServerConfig cfg_;
   util::Rng rng_;
   bool dormant_ = false;
+  bool crashed_ = false;
+  std::uint64_t crashes_ = 0;
   std::uint64_t sessions_ = 0;
   std::uint64_t next_serial_ = 1;
   std::map<const sim::TcpConn*, Session> sessions_state_;

@@ -145,6 +145,8 @@ class World {
   [[nodiscard]] const std::vector<PlannedSample>& samples() const { return samples_; }
   [[nodiscard]] const std::vector<PlannedC2>& c2_plan() const { return c2s_; }
   [[nodiscard]] net::Endpoint resolver() const;
+  /// The resolver actor itself (fault-injection hook-up point).
+  [[nodiscard]] dns::DnsServer& resolver_server() { return *resolver_; }
 
   /// Creates/destroys C2 server actors so the live set matches `day`.
   /// Must be called with non-decreasing day values.
@@ -154,6 +156,13 @@ class World {
   /// dotted quad or a domain.
   [[nodiscard]] C2Server* live_c2(const std::string& address) const;
   [[nodiscard]] std::size_t live_c2_count() const { return live_.size(); }
+
+  /// Visits every live server in address order (deterministic; used by the
+  /// fault layer to roll per-day crash decisions).
+  template <typename F>
+  void for_each_live_c2(F&& f) {
+    for (auto& [address, server] : live_) f(address, *server);
+  }
 
   /// Ground truth for validation: was this address's server alive that day?
   [[nodiscard]] bool c2_alive_on(const std::string& address, std::int64_t day) const;

@@ -97,6 +97,7 @@ StudyResults merge_study_results(std::vector<StudyResults> parts) {
     append(merged.d_samples, std::move(p.d_samples));
     append(merged.d_exploits, std::move(p.d_exploits));
     append(merged.d_ddos, std::move(p.d_ddos));
+    append(merged.degraded, std::move(p.degraded));
     for (auto& [addr, rec] : p.d_c2s) {
       auto [it, inserted] = merged.d_c2s.try_emplace(addr, std::move(rec));
       if (!inserted) merge_c2(it->second, rec);
@@ -143,8 +144,14 @@ StudyResults ParallelStudy::run() {
   std::vector<StudyResults> parts(shards);
   util::ThreadPool pool(jobs);
   util::parallel_for(pool, shards, [this, &parts](std::size_t i) {
-    Pipeline pipeline(shard_config(cfg_.base, cfg_.shards, static_cast<int>(i)));
-    parts[i] = pipeline.run();
+    try {
+      Pipeline pipeline(shard_config(cfg_.base, cfg_.shards, static_cast<int>(i)));
+      parts[i] = pipeline.run();
+    } catch (const std::exception& e) {
+      // Per-sample failures are contained inside the pipeline; anything that
+      // still escapes is a shard-level bug — rethrow with shard context.
+      throw std::runtime_error("shard " + std::to_string(i) + ": " + e.what());
+    }
   });
   return merge_study_results(std::move(parts));
 }

@@ -38,6 +38,14 @@ Pipeline::Pipeline(PipelineConfig cfg) : cfg_(std::move(cfg)) {
   wc.seed = cfg_.seed;
   world_ = std::make_unique<botnet::World>(*net_, wc);
 
+  if (cfg_.chaos != faultsim::Profile::kNone) {
+    // The injector's streams hang off (shard seed, chaos seed), so every
+    // shard gets an independent but reproducible fault schedule.
+    injector_ = std::make_unique<faultsim::FaultInjector>(
+        faultsim::make_fault_config(cfg_.chaos), cfg_.seed, cfg_.chaos_seed);
+    injector_->install(*net_, world_->resolver_server());
+  }
+
   emu::SandboxConfig sc;
   sc.seed = cfg_.seed ^ 0xBADC0FFEE;
   sc.obs = &obs_;
@@ -73,6 +81,18 @@ StudyResults Pipeline::run() {
       sim::ScopedPhaseTag tag(*sched_,
                               static_cast<sim::PhaseTag>(obs::Phase::kWorld));
       world_->advance_to_day(day);
+      if (injector_) {
+        // Per-day crash rolls over the live set. The draw is a pure
+        // function of (seeds, address, day), so address-ordered iteration
+        // is just a convenience, not a determinism requirement.
+        world_->for_each_live_c2(
+            [this, day](const std::string& address, botnet::C2Server& server) {
+              if (const auto outage =
+                      injector_->maybe_crash_c2(util::fnv1a64(address), day)) {
+                server.crash(*outage);
+              }
+            });
+      }
     }
     {
       // Launch today's analysis chains, staggered from 00:01, all running
@@ -88,7 +108,15 @@ StudyResults Pipeline::run() {
         const botnet::PlannedSample& sample = samples[next_sample];
         const sim::SimTime start{day * kDayUs + 60'000'000LL +
                                  slot * 90'000'000LL};
-        sched_->at(start, [this, &sample]() { analyse_sample(sample); });
+        // Per-sample containment: one sample's analysis blowing up must not
+        // take the study down — it lands in StudyResults::degraded instead.
+        sched_->at(start, [this, &sample]() {
+          try {
+            analyse_sample(sample);
+          } catch (const std::exception& e) {
+            note_degraded(sample, std::string("exception:") + e.what());
+          }
+        });
         ++next_sample;
         ++slot;
       }
@@ -140,6 +168,29 @@ void Pipeline::harvest_observability() {
     if (rec.ever_live()) lifespan.record(rec.observed_lifespan_days());
   }
 
+  // Chaos counters are registered only when chaos is on (or something
+  // actually degraded): a clean run's metrics JSON must stay byte-identical
+  // to a build without the fault layer.
+  if (injector_) {
+    const faultsim::FaultStats& fs = injector_->stats();
+    reg.counter("faults_injected").inc(fs.total());
+    reg.counter("resolver_retries").inc(resolver_retries_);
+    reg.counter("chaos.packets_dropped_burst").inc(fs.packets_dropped_burst);
+    reg.counter("chaos.packets_duplicated").inc(fs.packets_duplicated);
+    reg.counter("chaos.packets_reordered").inc(fs.packets_reordered);
+    reg.counter("chaos.packets_truncated").inc(fs.packets_truncated);
+    reg.counter("chaos.packets_corrupted").inc(fs.packets_corrupted);
+    reg.counter("chaos.latency_spikes").inc(fs.latency_spikes);
+    reg.counter("chaos.partitions_started").inc(fs.partitions_started);
+    reg.counter("chaos.partition_drops").inc(fs.partition_drops);
+    reg.counter("chaos.dns_servfails").inc(fs.dns_servfails);
+    reg.counter("chaos.dns_drops").inc(fs.dns_drops);
+    reg.counter("chaos.c2_crashes").inc(fs.c2_crashes);
+  }
+  if (injector_ || !results_.degraded.empty()) {
+    reg.counter("samples_degraded").inc(results_.degraded.size());
+  }
+
   // Per-phase rollup: event counts (and wall-clock under --profile) come
   // from the scheduler's tag arrays; ops are phase-defined totals.
   for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
@@ -171,8 +222,20 @@ void Pipeline::analyse_sample(const botnet::PlannedSample& sample) {
   opts.duration = cfg_.observe_duration;
   opts.handshaker_threshold = cfg_.handshaker_threshold;
   sandbox_->start(sample.binary, opts, [this, &sample](const emu::SandboxReport& r) {
-    handle_observe_report(sample, r);
+    try {
+      handle_observe_report(sample, r);
+    } catch (const std::exception& e) {
+      note_degraded(sample, std::string("exception:") + e.what());
+    }
   });
+}
+
+void Pipeline::note_degraded(const botnet::PlannedSample& sample,
+                             std::string reason) {
+  util::log_line(util::LogLevel::kWarn, "pipeline",
+                 "degraded sample " + sample.sha256.substr(0, 8) + ": " + reason);
+  results_.degraded.push_back(
+      DegradedSample{sample.sha256, sample.first_seen_day, std::move(reason)});
 }
 
 void Pipeline::handle_observe_report(const botnet::PlannedSample& sample,
@@ -251,15 +314,34 @@ void Pipeline::probe_candidate(const botnet::PlannedSample& sample,
           }
           probe_candidate(sample, std::move(candidates), idx + 1, now_live);
         },
-        cfg_.probe_duration);
+        cfg_.probe_duration,
+        // Under chaos a dead-looking target may just be injected loss;
+        // spend a second attempt before declaring it down.
+        ProbePolicy{injector_ ? 2 : 1, sim::Duration::seconds(30)});
   };
 
   if (cand.is_dns) {
     // Resolve the name through real DNS to find the probe target (§2.3a).
+    // Chaos runs retransmit against injected SERVFAIL/drop; clean runs keep
+    // the classic single-shot query.
+    dns::ResolveOptions ropts;
+    if (injector_) {
+      ropts.max_retries = 2;
+      ropts.on_retry = [this]() { ++resolver_retries_; };
+    }
     dns::resolve(*analysis_host_, world_->resolver(), cand.address,
-                 [cw = std::move(continue_with_ip)](std::optional<net::Ipv4> ip) mutable {
+                 [this, sha = sample.sha256, day = sample.first_seen_day,
+                  addr = cand.address,
+                  cw = std::move(continue_with_ip)](std::optional<net::Ipv4> ip) mutable {
+                   if (!ip && injector_) {
+                     // Could be NXDOMAIN or injected failure; under chaos we
+                     // conservatively flag the sample's C2 check as degraded.
+                     results_.degraded.push_back(DegradedSample{
+                         std::move(sha), day, "dns:" + std::move(addr)});
+                   }
                    cw(ip.value_or(net::Ipv4{}));
-                 });
+                 },
+                 std::move(ropts));
   } else {
     continue_with_ip(cand.resolved_ip);
   }

@@ -28,6 +28,7 @@
 #include "core/exploit_id.hpp"
 #include "core/prober.hpp"
 #include "emu/sandbox.hpp"
+#include "fault/fault.hpp"
 #include "intel/threat_intel.hpp"
 #include "obs/obs.hpp"
 
@@ -88,9 +89,24 @@ struct DdosRecord {
   DdosDetection detection;
 };
 
+/// One sample whose observation the pipeline finished in a degraded state
+/// instead of crashing the study (DESIGN.md §11 error containment).
+struct DegradedSample {
+  std::string sha256;
+  std::int64_t day = 0;
+  /// "exception:<what>" (analysis chain threw) or "dns:<address>" (a C2
+  /// name never resolved under chaos, so its liveness went unchecked).
+  std::string reason;
+};
+
 struct PipelineConfig {
   std::uint64_t seed = 22;
   botnet::WorldConfig world{};
+  /// Fault-injection profile (DESIGN.md §11). kNone runs the classic clean
+  /// study, bit-identical to a build without the fault layer.
+  faultsim::Profile chaos = faultsim::Profile::kNone;
+  /// Varies the fault schedule independently of the world seed.
+  std::uint64_t chaos_seed = 0;
   /// Per-packet drop probability of the simulated internet, in [0, 1).
   /// Zero keeps flows lossless (the default study setting); raising it
   /// degrades every observation channel at once.
@@ -122,6 +138,9 @@ struct StudyResults {
   std::vector<DdosRecord> d_ddos;
   ProbeCampaignResult d_pc2;
   std::set<std::string> downloader_hosts;  // distinct downloader addresses
+  /// Samples whose observation was impaired but contained (study-order;
+  /// empty on clean runs). Serialized as dataset format v2 when non-empty.
+  std::vector<DegradedSample> degraded;
 
   // Ground truth snapshots for validation (not used by any table/figure
   // computation — only for paper-vs-truth sanity checks in tests/benches).
@@ -181,6 +200,8 @@ class Pipeline {
                       net::Ipv4 real_ip);
   void run_probe_campaign();
   void finalize_results();
+  /// Records a contained per-sample failure in StudyResults::degraded.
+  void note_degraded(const botnet::PlannedSample& sample, std::string reason);
   /// Copies end-of-run totals (network, scheduler, campaign, C2 lifespans)
   /// into the registry and fills the per-phase profile.
   void harvest_observability();
@@ -199,6 +220,7 @@ class Pipeline {
   std::unique_ptr<sim::EventScheduler> sched_;
   std::unique_ptr<sim::Network> net_;
   std::unique_ptr<botnet::World> world_;
+  std::unique_ptr<faultsim::FaultInjector> injector_;  // null when chaos off
   std::unique_ptr<emu::Sandbox> sandbox_;
   std::unique_ptr<intel::ThreatIntel> intel_;
   std::unique_ptr<sim::Host> analysis_host_;  // DNS lookups for probing
@@ -208,6 +230,7 @@ class Pipeline {
   StudyResults results_;
   std::map<std::string, proto::Family> label_by_sample_;
   std::map<std::string, int> live_runs_per_c2_;
+  std::uint64_t resolver_retries_ = 0;
   bool ran_ = false;
 };
 

@@ -7,15 +7,18 @@
 namespace malnet::core {
 
 void probe_liveness(emu::Sandbox& sandbox, const Weapon& weapon, net::Endpoint target,
-                    std::function<void(LivenessResult)> done, sim::Duration duration) {
+                    std::function<void(LivenessResult)> done, sim::Duration duration,
+                    ProbePolicy policy) {
   if (!done) throw std::invalid_argument("probe_liveness: null callback");
   emu::SandboxOptions opts;
   opts.mode = emu::SandboxMode::kWeaponized;
   opts.duration = duration;
   opts.c2_hint = weapon.c2_hint;
   opts.mitm_target = target;
+  const int attempts_left = std::max(1, policy.attempts) - 1;
   sandbox.start(weapon.binary, opts,
-                [done = std::move(done)](const emu::SandboxReport& report) {
+                [&sandbox, weapon, target, duration, policy, attempts_left,
+                 done = std::move(done)](const emu::SandboxReport& report) mutable {
                   LivenessResult res;
                   res.first_data = report.mitm_first_data;
                   // A well-known service banner means we reached something
@@ -23,7 +26,20 @@ void probe_liveness(emu::Sandbox& sandbox, const Weapon& weapon, net::Endpoint t
                   res.engaged =
                       report.mitm_engaged &&
                       !inetsim::is_well_known_banner(util::to_string(res.first_data));
-                  done(res);
+                  if (res.engaged || attempts_left <= 0) {
+                    done(res);
+                    return;
+                  }
+                  // Re-probe: a dead first attempt may just be injected loss.
+                  ProbePolicy next = policy;
+                  next.attempts = attempts_left;
+                  sandbox.network().scheduler().after(
+                      policy.retry_delay,
+                      [&sandbox, weapon, target, duration, next,
+                       done = std::move(done)]() mutable {
+                        probe_liveness(sandbox, weapon, target, std::move(done),
+                                       duration, next);
+                      });
                 });
 }
 

@@ -35,10 +35,19 @@ struct Weapon {
   net::Endpoint c2_hint;
 };
 
+/// Re-probe policy for liveness checks. The default (one attempt) is the
+/// classic behaviour; chaos studies raise `attempts` so a probe that died
+/// to injected loss gets another shot before the C2 is declared dead.
+struct ProbePolicy {
+  int attempts = 1;
+  sim::Duration retry_delay = sim::Duration::seconds(30);
+};
+
 /// Fires a weaponized run at `target`. `done` is invoked once.
 void probe_liveness(emu::Sandbox& sandbox, const Weapon& weapon, net::Endpoint target,
                     std::function<void(LivenessResult)> done,
-                    sim::Duration duration = sim::Duration::seconds(90));
+                    sim::Duration duration = sim::Duration::seconds(90),
+                    ProbePolicy policy = {});
 
 struct ProbeCampaignConfig {
   std::vector<net::Subnet> subnets;

@@ -22,6 +22,20 @@ void DnsServer::handle_query(const net::Packet& p) {
   const auto query = decode(p.payload);
   if (!query || query->is_response || query->questions.empty()) return;
   ++queries_;
+  if (fault_hook_) {
+    switch (fault_hook_()) {
+      case QueryFault::kDrop:
+        return;  // the client sees a timeout
+      case QueryFault::kServfail: {
+        Message fail = make_response(*query, std::nullopt);
+        fail.rcode = Rcode::kServFail;
+        udp_send({p.src, p.src_port}, encode(fail), /*src_port=*/53);
+        return;
+      }
+      case QueryFault::kNone:
+        break;
+    }
+  }
   std::optional<net::Ipv4> answer;
   const auto it = zone_.find(util::to_lower(query->questions.front().name));
   if (it != zone_.end()) {

@@ -125,6 +125,9 @@ class Sandbox {
   /// The wildcard address fake DNS hands out in observe/weaponized modes.
   [[nodiscard]] net::Ipv4 martian() const;
 
+  /// The simulated network the sandbox runs on (fault hook-up point).
+  [[nodiscard]] sim::Network& network() { return net_; }
+
  private:
   class Run;
 

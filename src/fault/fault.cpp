@@ -1,0 +1,210 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace malnet::faultsim {
+
+namespace {
+
+/// Mixes two seeds into one, order-sensitive (mix(a,b) != mix(b,a)).
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  return util::splitmix64(state);
+}
+
+/// Unordered /16-pair key: both directions of a link map to one partition.
+std::uint64_t prefix_pair_key(net::Ipv4 a, net::Ipv4 b) {
+  const std::uint64_t pa = a.value >> 16;
+  const std::uint64_t pb = b.value >> 16;
+  return pa < pb ? (pa << 32) | pb : (pb << 32) | pa;
+}
+
+}  // namespace
+
+std::string to_string(Profile p) {
+  switch (p) {
+    case Profile::kNone:
+      return "none";
+    case Profile::kFlaky:
+      return "flaky";
+    case Profile::kHostile:
+      return "hostile";
+  }
+  throw std::logic_error("to_string: bad Profile");
+}
+
+std::optional<Profile> profile_from_string(std::string_view s) {
+  if (s == "none") return Profile::kNone;
+  if (s == "flaky") return Profile::kFlaky;
+  if (s == "hostile") return Profile::kHostile;
+  return std::nullopt;
+}
+
+FaultConfig make_fault_config(Profile p) {
+  FaultConfig cfg;
+  switch (p) {
+    case Profile::kNone:
+      break;
+    case Profile::kFlaky:
+      // A residential-grade path: occasional short bursts, mild jitter,
+      // resolver hiccups. Roughly quarter-strength hostile, no partitions.
+      cfg.burst_start_prob = 0.001;
+      cfg.burst_min_len = 3;
+      cfg.burst_max_len = 8;
+      cfg.duplicate_prob = 0.01;
+      cfg.reorder_prob = 0.01;
+      cfg.latency_spike_prob = 0.008;
+      cfg.latency_spike_max = sim::Duration::millis(400);
+      cfg.truncate_prob = 0.005;
+      cfg.corrupt_prob = 0.003;
+      cfg.dns_servfail_prob = 0.08;
+      cfg.dns_drop_prob = 0.05;
+      cfg.c2_crash_prob = 0.02;
+      cfg.c2_outage_min = sim::Duration::minutes(5);
+      cfg.c2_outage_max = sim::Duration::minutes(45);
+      break;
+    case Profile::kHostile:
+      // An actively bad day on the Internet: long bursts, heavy jitter,
+      // flapping links, a resolver melting down, C2s crashing daily.
+      cfg.burst_start_prob = 0.004;
+      cfg.burst_min_len = 5;
+      cfg.burst_max_len = 20;
+      cfg.duplicate_prob = 0.03;
+      cfg.reorder_prob = 0.03;
+      cfg.latency_spike_prob = 0.02;
+      cfg.latency_spike_max = sim::Duration::millis(1500);
+      cfg.truncate_prob = 0.015;
+      cfg.corrupt_prob = 0.008;
+      cfg.partition_start_prob = 0.0002;
+      cfg.partition_duration = sim::Duration::minutes(10);
+      cfg.dns_servfail_prob = 0.25;
+      cfg.dns_drop_prob = 0.20;
+      cfg.c2_crash_prob = 0.08;
+      cfg.c2_outage_min = sim::Duration::minutes(10);
+      cfg.c2_outage_max = sim::Duration::minutes(120);
+      break;
+  }
+  return cfg;
+}
+
+std::uint64_t FaultStats::total() const {
+  return packets_dropped_burst + packets_duplicated + packets_reordered +
+         packets_truncated + packets_corrupted + latency_spikes +
+         partitions_started + partition_drops + dns_servfails + dns_drops +
+         c2_crashes;
+}
+
+FaultInjector::FaultInjector(FaultConfig cfg, std::uint64_t seed,
+                             std::uint64_t chaos_seed)
+    : cfg_(cfg),
+      crash_seed_(mix(mix(seed, chaos_seed), util::fnv1a64("fault.c2crash"))),
+      packet_rng_(mix(seed, chaos_seed), util::fnv1a64("fault.packet")),
+      dns_rng_(mix(seed, chaos_seed), util::fnv1a64("fault.dns")) {}
+
+void FaultInjector::install(sim::Network& net, dns::DnsServer& dns) {
+  net.set_fault_hook(
+      [this, &net](net::Packet& p) { return on_packet(p, net.now()); });
+  dns.set_query_fault_hook([this] { return on_dns_query(); });
+}
+
+sim::FaultVerdict FaultInjector::on_packet(net::Packet& p, sim::SimTime now) {
+  sim::FaultVerdict verdict;
+
+  // 1. Active partition between the two /16s drops everything.
+  if (cfg_.partition_start_prob > 0) {
+    const auto key = prefix_pair_key(p.src, p.dst);
+    const auto it = partitions_.find(key);
+    if (it != partitions_.end()) {
+      if (now.us < it->second) {
+        ++stats_.partition_drops;
+        verdict.drop = true;
+        return verdict;
+      }
+      partitions_.erase(it);  // outage over
+    }
+    if (packet_rng_.chance(cfg_.partition_start_prob)) {
+      ++stats_.partitions_started;
+      partitions_[key] = (now + cfg_.partition_duration).us;
+      ++stats_.partition_drops;  // this packet is the first casualty
+      verdict.drop = true;
+      return verdict;
+    }
+  }
+
+  // 2. Burst loss: once a burst opens it swallows packets network-wide
+  // until its length is exhausted (a crude but deterministic stand-in for
+  // a congested bottleneck queue).
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    ++stats_.packets_dropped_burst;
+    verdict.drop = true;
+    return verdict;
+  }
+  if (cfg_.burst_start_prob > 0 && packet_rng_.chance(cfg_.burst_start_prob)) {
+    burst_remaining_ = static_cast<int>(
+        packet_rng_.uniform_int(cfg_.burst_min_len, cfg_.burst_max_len));
+    ++stats_.packets_dropped_burst;
+    verdict.drop = true;
+    return verdict;
+  }
+
+  // 3. Non-fatal faults; each class rolled independently so they compose.
+  if (cfg_.duplicate_prob > 0 && packet_rng_.chance(cfg_.duplicate_prob)) {
+    verdict.duplicates = 1;
+    ++stats_.packets_duplicated;
+  }
+  if (cfg_.reorder_prob > 0 && packet_rng_.chance(cfg_.reorder_prob)) {
+    verdict.reorder = true;
+    ++stats_.packets_reordered;
+  }
+  if (cfg_.latency_spike_prob > 0 &&
+      packet_rng_.chance(cfg_.latency_spike_prob)) {
+    verdict.extra_latency = sim::Duration::micros(
+        packet_rng_.uniform_int(1000, cfg_.latency_spike_max.us));
+    ++stats_.latency_spikes;
+  }
+  if (cfg_.truncate_prob > 0 && p.proto == net::Protocol::kUdp &&
+      !p.payload.empty() && packet_rng_.chance(cfg_.truncate_prob)) {
+    p.payload.resize(static_cast<std::size_t>(packet_rng_.uniform_int(
+        0, static_cast<std::int64_t>(p.payload.size()) - 1)));
+    ++stats_.packets_truncated;
+  }
+  if (cfg_.corrupt_prob > 0 && !p.payload.empty() &&
+      packet_rng_.chance(cfg_.corrupt_prob)) {
+    const auto size = static_cast<std::int64_t>(p.payload.size());
+    const auto flips = packet_rng_.uniform_int(1, std::min<std::int64_t>(4, size));
+    for (std::int64_t i = 0; i < flips; ++i) {
+      const auto pos = static_cast<std::size_t>(packet_rng_.uniform_int(0, size - 1));
+      p.payload[pos] ^= static_cast<std::uint8_t>(packet_rng_.uniform_int(1, 255));
+    }
+    ++stats_.packets_corrupted;
+  }
+  return verdict;
+}
+
+dns::QueryFault FaultInjector::on_dns_query() {
+  if (cfg_.dns_servfail_prob > 0 && dns_rng_.chance(cfg_.dns_servfail_prob)) {
+    ++stats_.dns_servfails;
+    return dns::QueryFault::kServfail;
+  }
+  if (cfg_.dns_drop_prob > 0 && dns_rng_.chance(cfg_.dns_drop_prob)) {
+    ++stats_.dns_drops;
+    return dns::QueryFault::kDrop;
+  }
+  return dns::QueryFault::kNone;
+}
+
+std::optional<sim::Duration> FaultInjector::maybe_crash_c2(
+    std::uint64_t server_key, std::int64_t day) {
+  if (cfg_.c2_crash_prob <= 0) return std::nullopt;
+  // Fresh RNG keyed by (seeds, server, day): the draw is a pure function of
+  // its inputs, so the crash schedule is independent of iteration order.
+  std::uint64_t state = crash_seed_ ^ mix(server_key, static_cast<std::uint64_t>(day));
+  util::Rng r(util::splitmix64(state), util::splitmix64(state));
+  if (!r.chance(cfg_.c2_crash_prob)) return std::nullopt;
+  ++stats_.c2_crashes;
+  return sim::Duration{r.uniform_int(cfg_.c2_outage_min.us, cfg_.c2_outage_max.us)};
+}
+
+}  // namespace malnet::faultsim

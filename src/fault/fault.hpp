@@ -1,0 +1,143 @@
+// Deterministic, seed-driven fault injection (DESIGN.md §11).
+//
+// MalNet's headline numbers come from an unreliable Internet: 91% of probes
+// go unanswered, C2s die mid-session, DNS flakes. The clean simulation only
+// models independent per-packet loss; this layer injects the rest — burst
+// loss, latency spikes, duplication, reordering, truncation/bit corruption,
+// link partitions, DNS SERVFAIL/drop, and C2-actor crashes — so every
+// consumer above the packet boundary can be hardened and tested against
+// degraded traffic.
+//
+// Determinism contract: every fault is drawn from a PCG32 stream derived
+// from (shard seed, chaos seed) at a point in the simulation that is itself
+// a pure function of the seed. A chaos run is therefore bit-identical
+// across --jobs and reproducible from (seed, chaos-seed), the same
+// invariance guarantee clean runs have.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "dns/server.hpp"
+#include "net/packet.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace malnet::faultsim {
+
+/// Named chaos intensity presets, exposed as `malnetctl study --chaos=<p>`.
+enum class Profile { kNone, kFlaky, kHostile };
+
+[[nodiscard]] std::string to_string(Profile p);
+[[nodiscard]] std::optional<Profile> profile_from_string(std::string_view s);
+
+/// Fault intensities. All probabilities are per-event (per transmitted
+/// packet, per DNS query, per server-day); zero disables that fault class.
+struct FaultConfig {
+  // -- Packet faults (drawn per packet surviving congestion loss) ----------
+  /// P(a packet opens a loss burst); the burst then swallows the next
+  /// `burst_min_len`..`burst_max_len` packets network-wide.
+  double burst_start_prob = 0.0;
+  int burst_min_len = 4;
+  int burst_max_len = 16;
+  double duplicate_prob = 0.0;  // deliver one extra copy
+  double reorder_prob = 0.0;    // exempt from the pair-FIFO clamp
+  double latency_spike_prob = 0.0;
+  sim::Duration latency_spike_max = sim::Duration::millis(800);
+  /// UDP-only: cut the payload short. TCP is exempt because the simplified
+  /// state machine has no retransmission — a truncated segment would stall
+  /// the session forever instead of degrading it.
+  double truncate_prob = 0.0;
+  /// Flip a few payload bytes (length preserved, so TCP sequence accounting
+  /// survives; the application-layer parse is what breaks).
+  double corrupt_prob = 0.0;
+  /// P(a packet opens a link partition between its two /16s); all traffic
+  /// between those prefixes then drops for `partition_duration`.
+  double partition_start_prob = 0.0;
+  sim::Duration partition_duration = sim::Duration::minutes(10);
+
+  // -- DNS server faults (drawn per well-formed query) ---------------------
+  double dns_servfail_prob = 0.0;
+  double dns_drop_prob = 0.0;
+
+  // -- C2 actor faults (drawn per live server per day) ---------------------
+  double c2_crash_prob = 0.0;  // crash + restart after a random outage
+  sim::Duration c2_outage_min = sim::Duration::minutes(5);
+  sim::Duration c2_outage_max = sim::Duration::minutes(120);
+
+  [[nodiscard]] bool enabled() const {
+    return burst_start_prob > 0 || duplicate_prob > 0 || reorder_prob > 0 ||
+           latency_spike_prob > 0 || truncate_prob > 0 || corrupt_prob > 0 ||
+           partition_start_prob > 0 || dns_servfail_prob > 0 ||
+           dns_drop_prob > 0 || c2_crash_prob > 0;
+  }
+};
+
+/// The preset behind each profile. kNone returns an all-zero config.
+[[nodiscard]] FaultConfig make_fault_config(Profile p);
+
+/// Injection counters, all sim-derived integers (obs §10 rule: safe to fold
+/// into the metrics registry without breaking jobs-invariance).
+struct FaultStats {
+  std::uint64_t packets_dropped_burst = 0;
+  std::uint64_t packets_duplicated = 0;
+  std::uint64_t packets_reordered = 0;
+  std::uint64_t packets_truncated = 0;
+  std::uint64_t packets_corrupted = 0;
+  std::uint64_t latency_spikes = 0;
+  std::uint64_t partitions_started = 0;
+  std::uint64_t partition_drops = 0;
+  std::uint64_t dns_servfails = 0;
+  std::uint64_t dns_drops = 0;
+  std::uint64_t c2_crashes = 0;
+
+  /// Total faults injected across every class.
+  [[nodiscard]] std::uint64_t total() const;
+};
+
+/// One injector per Pipeline (= per shard). Owns the fault RNG streams and
+/// the burst/partition state machines; installs itself as the network's
+/// packet fault hook and the resolver's query fault hook.
+class FaultInjector {
+ public:
+  /// `seed` is the shard seed, `chaos_seed` the study-wide chaos seed; the
+  /// fault streams are derived from both, so the same world can be replayed
+  /// under many independent fault schedules.
+  FaultInjector(FaultConfig cfg, std::uint64_t seed, std::uint64_t chaos_seed);
+
+  /// Installs the packet hook on `net` and the query hook on `dns`. The
+  /// injector must outlive both.
+  void install(sim::Network& net, dns::DnsServer& dns);
+
+  /// Per-packet decision (public so tests can drive it directly). May
+  /// mutate the packet (truncation/corruption).
+  [[nodiscard]] sim::FaultVerdict on_packet(net::Packet& p, sim::SimTime now);
+
+  /// Per-query decision for the DNS server hook.
+  [[nodiscard]] dns::QueryFault on_dns_query();
+
+  /// Stateless per-(server, day) crash draw: the decision depends only on
+  /// the seeds, the server key and the day — never on call order — so any
+  /// iteration over the live set yields the same crash schedule. Returns
+  /// the outage duration when the server crashes that day.
+  [[nodiscard]] std::optional<sim::Duration> maybe_crash_c2(
+      std::uint64_t server_key, std::int64_t day);
+
+  [[nodiscard]] const FaultConfig& config() const { return cfg_; }
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultConfig cfg_;
+  std::uint64_t crash_seed_;
+  util::Rng packet_rng_;
+  util::Rng dns_rng_;
+  FaultStats stats_;
+  int burst_remaining_ = 0;
+  /// Active partitions: unordered /16-pair key -> end of outage (sim µs).
+  std::unordered_map<std::uint64_t, std::int64_t> partitions_;
+};
+
+}  // namespace malnet::faultsim

@@ -55,7 +55,10 @@ std::optional<proto::AttackCommand> get_command(util::ByteReader& r) {
 util::Bytes serialize_datasets(const core::StudyResults& results) {
   util::ByteWriter w;
   w.u32(kDatasetMagic);
-  w.u8(1);  // version
+  // Version 2 appends the degraded-samples section; clean runs (degraded
+  // empty) still write version 1, byte-identical to pre-chaos artifacts.
+  const std::uint8_t version = results.degraded.empty() ? 1 : 2;
+  w.u8(version);
 
   // D-Samples (metadata only).
   w.u32(static_cast<std::uint32_t>(results.d_samples.size()));
@@ -137,6 +140,16 @@ util::Bytes serialize_datasets(const core::StudyResults& results) {
   w.u64(results.non_mips_skipped);
   w.u64(results.truth_commands_issued);
   w.u64(results.truth_planned_c2s);
+
+  // Degraded samples (v2 only).
+  if (version >= 2) {
+    w.u32(static_cast<std::uint32_t>(results.degraded.size()));
+    for (const auto& d : results.degraded) {
+      put_string(w, d.sha256);
+      w.u64(static_cast<std::uint64_t>(d.day));
+      put_string(w, d.reason);
+    }
+  }
   return w.take();
 }
 
@@ -144,7 +157,8 @@ std::optional<core::StudyResults> parse_datasets(util::BytesView data) {
   try {
     util::ByteReader r(data);
     if (r.u32() != kDatasetMagic) return std::nullopt;
-    if (r.u8() != 1) return std::nullopt;
+    const std::uint8_t version = r.u8();
+    if (version != 1 && version != 2) return std::nullopt;
     core::StudyResults out;
 
     const std::uint32_t n_samples = r.u32();
@@ -249,6 +263,16 @@ std::optional<core::StudyResults> parse_datasets(util::BytesView data) {
     out.non_mips_skipped = r.u64();
     out.truth_commands_issued = r.u64();
     out.truth_planned_c2s = r.u64();
+    if (version >= 2) {
+      const std::uint32_t n_degraded = r.u32();
+      for (std::uint32_t i = 0; i < n_degraded; ++i) {
+        core::DegradedSample d;
+        d.sha256 = get_string(r);
+        d.day = static_cast<std::int64_t>(r.u64());
+        d.reason = get_string(r);
+        out.degraded.push_back(std::move(d));
+      }
+    }
     if (!r.done()) return std::nullopt;
     return out;
   } catch (const util::TruncatedInput&) {

@@ -48,7 +48,9 @@ std::string render_cdf(const util::Cdf& cdf, const std::string& x_label,
                        std::size_t max_points) {
   std::ostringstream os;
   if (cdf.empty()) {
-    os << "(empty CDF: " << x_label << ")\n";
+    // Degraded/chaos studies can legitimately hand an empty dataset to any
+    // figure; render an explicit no-data row instead of crashing.
+    os << "(no data: empty CDF of " << x_label << ")\n";
     return os.str();
   }
   os << "CDF of " << x_label << "  (n=" << cdf.count() << ", mean="

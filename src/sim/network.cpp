@@ -53,6 +53,15 @@ void Network::transmit(net::Packet p) {
     return;  // congestion: dropped in flight
   }
 
+  // The fault hook draws from its own RNG stream, so installing one never
+  // perturbs the network's congestion-loss stream.
+  FaultVerdict verdict;
+  if (fault_hook_) verdict = fault_hook_(p);
+  if (verdict.drop) {
+    ++loss_count_;
+    return;
+  }
+
   Host* dst = host_at(p.dst);
   if (dst == nullptr) {
     ++dark_count_;
@@ -61,13 +70,25 @@ void Network::transmit(net::Packet p) {
 
   const std::uint64_t pair_key =
       (static_cast<std::uint64_t>(p.src.value) << 32) | p.dst.value;
-  SimTime deliver_at = now() + latency(p.src, p.dst);
-  auto& last = last_delivery_[pair_key];
-  if (deliver_at <= last) deliver_at = last + Duration::micros(1);
-  last = deliver_at;
+  SimTime deliver_at = now() + latency(p.src, p.dst) + verdict.extra_latency;
+  if (!verdict.reorder) {
+    auto& last = last_delivery_[pair_key];
+    if (deliver_at <= last) deliver_at = last + Duration::micros(1);
+    last = deliver_at;
+  }
 
+  // Duplicates trail the original by a whisker; they deliberately bypass
+  // the FIFO clamp update so they model duplicated deliveries of the same
+  // send, not new sends.
+  for (int i = 0; i < verdict.duplicates; ++i) {
+    schedule_delivery(deliver_at + Duration::micros(i + 1), p);
+  }
+  schedule_delivery(deliver_at, std::move(p));
+}
+
+void Network::schedule_delivery(SimTime at, net::Packet p) {
   const net::Ipv4 dst_addr = p.dst;
-  sched_.at(deliver_at, [this, dst_addr, pkt = std::move(p)]() mutable {
+  sched_.at(at, [this, dst_addr, pkt = std::move(p)]() mutable {
     // Re-resolve: the host may have detached while the packet was in flight.
     Host* h = host_at(dst_addr);
     if (h == nullptr) return;
@@ -156,6 +177,14 @@ void Host::tcp_connect(net::Endpoint remote, ConnectHandler cb, Duration timeout
 void Host::close_all_connections() {
   for (auto& [key, conn] : conns_) {
     if (conn->established()) conn->close();
+  }
+}
+
+void Host::abort_all_connections() {
+  // reset() only schedules the map erase, so iterating while resetting is
+  // safe.
+  for (auto& [key, conn] : conns_) {
+    if (conn->state() != TcpConn::State::kClosed) conn->reset();
   }
 }
 

@@ -36,6 +36,28 @@ struct NetworkConfig {
 /// Observes every packet the network accepts for transmission.
 using GlobalTap = std::function<void(const net::Packet&)>;
 
+/// Routing directives a fault hook returns for one packet in flight.
+/// Default-constructed, the verdict is a no-op and delivery proceeds as if
+/// no hook were installed.
+struct FaultVerdict {
+  /// Drop the packet in flight (counted as lost, like congestion loss).
+  bool drop = false;
+  /// Deliver this many extra copies shortly after the original.
+  int duplicates = 0;
+  /// Exempt this delivery from the per-pair FIFO clamp, letting it overtake
+  /// packets already in flight on the same (src, dst) pair.
+  bool reorder = false;
+  /// Added to the pair latency (a transient latency spike).
+  Duration extra_latency{};
+};
+
+/// Installed by the fault-injection layer (malnet::faultsim). Consulted for
+/// every packet that survived the congestion-loss roll; may mutate the
+/// packet (truncation, bit corruption) before returning its verdict. The
+/// hook must be deterministic for the delivery schedule to stay a pure
+/// function of the seed.
+using FaultHook = std::function<FaultVerdict(net::Packet&)>;
+
 class Network {
  public:
   Network(EventScheduler& sched, NetworkConfig cfg = {});
@@ -61,6 +83,8 @@ class Network {
   [[nodiscard]] Duration latency(net::Ipv4 a, net::Ipv4 b) const;
 
   void set_global_tap(GlobalTap tap) { tap_ = std::move(tap); }
+  void set_fault_hook(FaultHook h) { fault_hook_ = std::move(h); }
+  void clear_fault_hook() { fault_hook_ = nullptr; }
 
   [[nodiscard]] std::uint64_t packets_transmitted() const { return tx_count_; }
   [[nodiscard]] std::uint64_t packets_delivered() const { return rx_count_; }
@@ -71,9 +95,12 @@ class Network {
   [[nodiscard]] std::uint64_t dns_queries() const { return dns_count_; }
 
  private:
+  void schedule_delivery(SimTime at, net::Packet p);
+
   EventScheduler& sched_;
   NetworkConfig cfg_;
   util::Rng rng_;
+  FaultHook fault_hook_;
   std::unordered_map<net::Ipv4, Host*> hosts_;
   // FIFO guarantee per ordered (src,dst) pair: the next delivery may never
   // precede the previous one.
@@ -131,6 +158,9 @@ class Host {
   /// Gracefully closes every established connection (used at sandbox-run
   /// teardown so peers see a FIN rather than a vanished host).
   void close_all_connections();
+  /// Abortive teardown: RSTs every non-closed connection at once. Models a
+  /// process crash — peers see a hard reset instead of a polite FIN.
+  void abort_all_connections();
 
   // --- UDP ---------------------------------------------------------------
   void udp_bind(net::Port port, UdpHandler h);
@@ -170,6 +200,11 @@ class Host {
       fn();
     });
   }
+
+  /// Expires when this host is destroyed. Lets code outside the host (e.g.
+  /// the DNS stub resolver's retry timers) guard scheduler events that
+  /// capture the host, the same way schedule_safe does internally.
+  [[nodiscard]] std::weak_ptr<const bool> lifetime_guard() const { return lifetime_; }
 
  private:
   friend class TcpConn;

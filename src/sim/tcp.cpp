@@ -94,23 +94,51 @@ void TcpConn::handle(const net::Packet& p) {
         // Fall through to possible piggy-backed data below.
       }
       [[fallthrough]];
-    case State::kEstablished:
-      if (!p.payload.empty() && state_ == State::kEstablished) {
+    case State::kEstablished: {
+      if (state_ != State::kEstablished) break;
+      // Sequence validation for segments that consume sequence space (data
+      // and FIN). A duplicated or retransmitted segment sits behind
+      // rcv_next_ and must not re-deliver its payload or re-close; a future
+      // segment waits in the one-deep reorder buffer until the gap closes.
+      const bool consumes = !p.payload.empty() || p.flags.fin;
+      if (consumes) {
+        const auto delta = static_cast<std::int32_t>(p.seq - rcv_next_);
+        if (delta < 0) break;  // stale duplicate: drop
+        if (delta > 0) {
+          // Out of order: keep the earliest future segment seen.
+          if (!ooo_buffer_ ||
+              static_cast<std::int32_t>(p.seq - ooo_buffer_->seq) < 0) {
+            ooo_buffer_ = p;
+          }
+          break;
+        }
+      }
+      if (!p.payload.empty()) {
         rcv_next_ = p.seq + static_cast<std::uint32_t>(p.payload.size());
         bytes_rx_ += p.payload.size();
         if (on_data_) on_data_(*this, p.payload);
         if (state_ == State::kClosed) return;  // handler closed us
       }
       if (p.flags.fin) {
-        rcv_next_ = p.seq + 1;
+        rcv_next_ = p.seq + static_cast<std::uint32_t>(p.payload.size()) + 1;
         if (!fin_sent_) {
           fin_sent_ = true;
           emit(net::TcpFlags{.syn = false, .ack = true, .fin = true, .rst = false,
                              .psh = false});
         }
         become_closed(/*notify=*/true);
+        return;
+      }
+      // The gap may have closed: replay the buffered segment if it is next.
+      if (ooo_buffer_ &&
+          static_cast<std::int32_t>(ooo_buffer_->seq - rcv_next_) <= 0) {
+        const net::Packet buffered = *std::move(ooo_buffer_);
+        ooo_buffer_.reset();
+        handle(buffered);
+        return;
       }
       break;
+    }
     case State::kClosed:
       break;  // late segment after close: ignore
   }

@@ -2,14 +2,18 @@
 //
 // Models what a network-level malware study observes: the three-way
 // handshake (the "handshaker" trick of §2.4 hinges on completing it),
-// PSH/ACK data segments, FIN teardown and RST refusal. Retransmission,
-// windowing and reordering are out of scope — the simulated network
-// delivers in order and does not drop packets (server elusiveness is
-// modelled at the application layer, where the paper observed it).
+// PSH/ACK data segments, FIN teardown and RST refusal. Retransmission and
+// windowing are out of scope; the default network delivers in order and
+// does not drop packets (server elusiveness is modelled at the application
+// layer, where the paper observed it). Under fault injection
+// (malnet::faultsim) segments can be duplicated or reordered, so receive
+// processing validates sequence numbers: stale duplicates are dropped and
+// a one-deep buffer absorbs single-segment reordering.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "net/packet.hpp"
@@ -82,6 +86,10 @@ class TcpConn {
   State state_;
   std::uint32_t snd_next_;
   std::uint32_t rcv_next_ = 0;
+  /// One-deep reorder buffer: a sequence-consuming segment that arrived
+  /// ahead of rcv_next_ waits here until the gap closes. Stale duplicates
+  /// (seq behind rcv_next_) are dropped outright — see handle().
+  std::optional<net::Packet> ooo_buffer_;
   bool fin_sent_ = false;
   std::uint64_t bytes_rx_ = 0;
   std::uint64_t bytes_tx_ = 0;

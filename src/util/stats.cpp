@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -31,13 +32,13 @@ double Cdf::mean() const {
 }
 
 double Cdf::min() const {
-  if (data_.empty()) throw std::logic_error("Cdf::min on empty");
+  if (data_.empty()) return std::numeric_limits<double>::quiet_NaN();
   ensure_sorted();
   return data_.front();
 }
 
 double Cdf::max() const {
-  if (data_.empty()) throw std::logic_error("Cdf::max on empty");
+  if (data_.empty()) return std::numeric_limits<double>::quiet_NaN();
   ensure_sorted();
   return data_.back();
 }
@@ -50,8 +51,8 @@ double Cdf::at(double x) const {
 }
 
 double Cdf::quantile(double q) const {
-  if (data_.empty()) throw std::logic_error("Cdf::quantile on empty");
   if (q < 0.0 || q > 1.0) throw std::invalid_argument("Cdf::quantile: q out of [0,1]");
+  if (data_.empty()) return std::numeric_limits<double>::quiet_NaN();
   ensure_sorted();
   // Clamp in double space: q=0 would otherwise produce -1 before the
   // unsigned cast.
@@ -92,7 +93,7 @@ std::uint64_t Histogram::at(std::int64_t key) const {
 }
 
 std::int64_t Histogram::mode() const {
-  if (bins_.empty()) throw std::logic_error("Histogram::mode on empty");
+  if (bins_.empty()) return 0;
   auto best = bins_.begin();
   for (auto it = bins_.begin(); it != bins_.end(); ++it) {
     if (it->second > best->second) best = it;

@@ -23,13 +23,17 @@ class Cdf {
   [[nodiscard]] std::size_t count() const { return data_.size(); }
   [[nodiscard]] bool empty() const { return data_.empty(); }
   [[nodiscard]] double mean() const;
+  /// Smallest/largest sample. NaN on an empty CDF — degraded/chaos studies
+  /// legitimately produce empty datasets, and figure emitters must render
+  /// a "no data" row rather than crash.
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
 
   /// P(X <= x). 0 for empty CDFs.
   [[nodiscard]] double at(double x) const;
 
-  /// Smallest sample v such that P(X <= v) >= q, q in [0,1].
+  /// Smallest sample v such that P(X <= v) >= q. Throws std::invalid_argument
+  /// for q outside [0,1]; NaN on an empty CDF (see min()/max()).
   [[nodiscard]] double quantile(double q) const;
 
   /// Fraction of samples exactly equal to x (useful for "80% have lifespan
@@ -53,6 +57,7 @@ class Histogram {
   [[nodiscard]] std::uint64_t at(std::int64_t key) const;
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& bins() const { return bins_; }
+  /// Most frequent key (smallest wins ties); 0 on an empty histogram.
   [[nodiscard]] std::int64_t mode() const;
 
  private:

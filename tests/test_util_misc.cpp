@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <numeric>
 
 #include "util/csv.hpp"
@@ -103,14 +104,21 @@ TEST(Cdf, StepsAreMonotone) {
 }
 
 TEST(Cdf, EmptyBehaviour) {
+  // Empty distributions answer NaN, not throw: chaos-degraded studies can
+  // legitimately produce empty CDFs, and figure emitters must keep going.
   Cdf c;
   EXPECT_TRUE(c.empty());
   EXPECT_DOUBLE_EQ(c.at(1.0), 0.0);
-  EXPECT_THROW((void)c.min(), std::logic_error);
+  EXPECT_TRUE(std::isnan(c.min()));
+  EXPECT_TRUE(std::isnan(c.max()));
+  EXPECT_TRUE(std::isnan(c.quantile(0.5)));
+  // Argument validation still throws, empty or not.
+  EXPECT_THROW((void)c.quantile(1.5), std::invalid_argument);
 }
 
 TEST(Histogram, CountsAndMode) {
   Histogram h;
+  EXPECT_EQ(h.mode(), 0);  // empty histogram has a defined (zero) mode
   h.add(1);
   h.add(2, 5);
   h.add(1);

@@ -50,7 +50,12 @@ using namespace malnet;
       "  study [--samples N] [--seed N] [--shards N] [--jobs N] [--no-probe]\n"
       "        [--claims] [--save-datasets <file.mds>]\n"
       "        [--metrics-out <m.json>] [--trace-out <t.json>] [--profile]\n"
-      "        (--shards splits the study into N deterministic seed shards;\n"
+      "        [--chaos <none|flaky|hostile>] [--chaos-seed N]\n"
+      "        (--chaos injects deterministic faults (loss bursts, dup/\n"
+      "         reorder, DNS failures, C2 crashes); --chaos-seed varies the\n"
+      "         fault schedule without changing the world. Impaired samples\n"
+      "         land in the degraded section of the results.\n"
+      "         --shards splits the study into N deterministic seed shards;\n"
       "         --jobs bounds worker threads and never changes the output.\n"
       "         --jobs alone implies --shards equal to the job count.\n"
       "         --metrics-out writes the merged registry snapshot (JSON,\n"
@@ -98,8 +103,11 @@ Args parse_args(int argc, char** argv, int first) {
   for (int i = first; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--", 0) == 0) {
-      const std::string key = a.substr(2);
-      if (key == "no-probe" || key == "claims" || key == "profile") {
+      std::string key = a.substr(2);
+      // --key=value form (e.g. --chaos=hostile) splits in place.
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        args.flags[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (key == "no-probe" || key == "claims" || key == "profile") {
         args.flags[key] = "1";
       } else if (i + 1 < argc) {
         args.flags[key] = argv[++i];
@@ -235,6 +243,15 @@ core::StudyResults run_study(const Args& args) {
   if (args.has("no-probe")) cfg.base.run_probe_campaign = false;
   cfg.base.trace = args.has("trace-out");
   cfg.base.profile_wall = args.has("profile");
+  if (args.has("chaos")) {
+    const auto profile = faultsim::profile_from_string(args.get("chaos"));
+    if (!profile) {
+      throw std::runtime_error("bad --chaos '" + args.get("chaos") +
+                               "' (want none|flaky|hostile)");
+    }
+    cfg.base.chaos = *profile;
+  }
+  cfg.base.chaos_seed = std::stoull(args.get("chaos-seed", "0"));
   cfg.jobs = std::stoi(args.get("jobs", "0"));
   // --jobs alone still parallelizes: the study splits into one shard per job.
   cfg.shards = std::stoi(args.get("shards", cfg.jobs > 0 ? args.get("jobs") : "1"));
@@ -265,6 +282,9 @@ int cmd_study(const Args& args) {
   }
   if (args.has("profile")) {
     std::cout << results.profile.render_table();
+  }
+  if (!results.degraded.empty()) {
+    std::cout << "degraded samples: " << results.degraded.size() << '\n';
   }
   // Every world copies the one standard AS database, so report rendering
   // does not need the (possibly sharded, already destroyed) pipelines.
