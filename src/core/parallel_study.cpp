@@ -145,8 +145,17 @@ StudyResults ParallelStudy::run() {
   util::ThreadPool pool(jobs);
   util::parallel_for(pool, shards, [this, &parts](std::size_t i) {
     try {
+      if (cfg_.shard_preload) {
+        if (auto preloaded = cfg_.shard_preload(static_cast<int>(i))) {
+          parts[i] = std::move(*preloaded);
+          return;
+        }
+      }
       Pipeline pipeline(shard_config(cfg_.base, cfg_.shards, static_cast<int>(i)));
       parts[i] = pipeline.run();
+      if (cfg_.on_shard_complete) {
+        cfg_.on_shard_complete(static_cast<int>(i), parts[i]);
+      }
     } catch (const std::exception& e) {
       // Per-sample failures are contained inside the pipeline; anything that
       // still escapes is a shard-level bug — rethrow with shard context.

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -28,6 +30,19 @@ struct ParallelStudyConfig {
   /// Worker threads; 0 means util::ThreadPool::default_worker_count().
   /// Never affects results — only wall-clock time.
   int jobs = 0;
+
+  /// Resume seam (malnet::store): consulted once per shard, on the worker
+  /// thread, before the shard's pipeline is built. Returning a value skips
+  /// execution and uses it verbatim in the merge — the caller guarantees it
+  /// equals what the shard would have computed (the store verifies a
+  /// content hash before handing results back). May be called concurrently.
+  std::function<std::optional<StudyResults>(int shard)> shard_preload;
+  /// Completion seam: invoked on the worker thread right after a freshly
+  /// executed shard finishes (never for preloaded shards). Must be
+  /// thread-safe; a throw fails the whole study, and shards already
+  /// committed by the hook stay durable — exactly the crash model
+  /// `--resume` recovers from.
+  std::function<void(int shard, const StudyResults& results)> on_shard_complete;
 };
 
 /// Seed for shard `index` of `shards`. A single-shard study keeps the base

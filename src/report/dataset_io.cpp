@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "util/fsio.hpp"
+
 namespace malnet::report {
 
 namespace {
@@ -281,12 +283,15 @@ std::optional<core::StudyResults> parse_datasets(util::BytesView data) {
 }
 
 void save_datasets(const core::StudyResults& results, const std::string& path) {
+  // Crash-safety: a kill mid-save must never leave a truncated artifact at
+  // `path` that load_datasets rejects — or, worse, clobber a good previous
+  // artifact with partial bytes. Stage + atomic rename instead.
   const auto bytes = serialize_datasets(results);
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("save_datasets: cannot open " + path);
-  f.write(reinterpret_cast<const char*>(bytes.data()),
-          static_cast<std::streamsize>(bytes.size()));
-  if (!f) throw std::runtime_error("save_datasets: write failed for " + path);
+  try {
+    util::write_file_atomic(path, util::BytesView{bytes});
+  } catch (const std::exception& e) {
+    throw std::runtime_error("save_datasets: " + std::string(e.what()));
+  }
 }
 
 core::StudyResults load_datasets(const std::string& path) {

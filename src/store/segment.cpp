@@ -1,0 +1,244 @@
+#include "store/segment.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+namespace malnet::store {
+
+namespace {
+
+/// Sorted union of two ascending day lists (same contract as the C2 merge
+/// in core::merge_study_results).
+std::vector<std::int64_t> union_days(const std::vector<std::int64_t>& a,
+                                     const std::vector<std::int64_t>& b) {
+  std::vector<std::int64_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void put_days(util::ByteWriter& w, const std::vector<std::int64_t>& days) {
+  w.u32(static_cast<std::uint32_t>(days.size()));
+  for (const auto d : days) w.u64(static_cast<std::uint64_t>(d));
+}
+
+std::vector<std::int64_t> get_days(util::ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<std::int64_t> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<std::int64_t>(r.u64()));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(SegmentKind kind) {
+  switch (kind) {
+    case SegmentKind::kShard: return "shard";
+    case SegmentKind::kIngest: return "ingest";
+    case SegmentKind::kCompacted: return "compacted";
+  }
+  return "unknown";
+}
+
+std::optional<SegmentKind> segment_kind_from_string(std::string_view s) {
+  if (s == "shard") return SegmentKind::kShard;
+  if (s == "ingest") return SegmentKind::kIngest;
+  if (s == "compacted") return SegmentKind::kCompacted;
+  return std::nullopt;
+}
+
+void SegmentIndex::merge(const SegmentIndex& other) {
+  if (other.max_day >= other.min_day) {
+    if (max_day < min_day) {
+      min_day = other.min_day;
+      max_day = other.max_day;
+    } else {
+      min_day = std::min(min_day, other.min_day);
+      max_day = std::max(max_day, other.max_day);
+    }
+  }
+  samples += other.samples;
+  exploits += other.exploits;
+  ddos += other.ddos;
+  degraded += other.degraded;
+  for (const auto& [family, n] : other.family_counts) family_counts[family] += n;
+  for (const auto& [addr, days] : other.c2_live_days) {
+    auto [it, inserted] = c2_live_days.try_emplace(addr, days);
+    if (!inserted) it->second = union_days(it->second, days);
+  }
+  for (const auto& [vuln, stat] : other.exploit_stats) {
+    auto [it, inserted] = exploit_stats.try_emplace(vuln, stat);
+    if (!inserted) {
+      it->second.count += stat.count;
+      it->second.days = union_days(it->second.days, stat.days);
+    }
+  }
+}
+
+std::map<std::int64_t, std::uint64_t> SegmentIndex::liveness_series() const {
+  std::map<std::int64_t, std::uint64_t> series;
+  for (const auto& [addr, days] : c2_live_days) {
+    for (const auto d : days) ++series[d];
+  }
+  return series;
+}
+
+SegmentIndex build_index(const core::StudyResults& results) {
+  SegmentIndex index;
+  index.samples = results.d_samples.size();
+  index.exploits = results.d_exploits.size();
+  index.ddos = results.d_ddos.size();
+  index.degraded = results.degraded.size();
+
+  const auto note_day = [&index](std::int64_t day) {
+    if (index.max_day < index.min_day) {
+      index.min_day = index.max_day = day;
+    } else {
+      index.min_day = std::min(index.min_day, day);
+      index.max_day = std::max(index.max_day, day);
+    }
+  };
+
+  for (const auto& s : results.d_samples) {
+    ++index.family_counts[static_cast<std::uint8_t>(s.label)];
+    note_day(s.day);
+  }
+  for (const auto& [addr, rec] : results.d_c2s) {
+    index.c2_live_days.emplace(addr, rec.live_days);
+  }
+  for (const auto& e : results.d_exploits) {
+    auto& stat = index.exploit_stats[static_cast<std::uint8_t>(e.vuln)];
+    ++stat.count;
+    stat.days.push_back(e.day);
+    note_day(e.day);
+  }
+  for (auto& [vuln, stat] : index.exploit_stats) {
+    std::sort(stat.days.begin(), stat.days.end());
+    stat.days.erase(std::unique(stat.days.begin(), stat.days.end()),
+                    stat.days.end());
+  }
+  for (const auto& d : results.d_ddos) note_day(d.day);
+  return index;
+}
+
+void encode_index(util::ByteWriter& w, const SegmentIndex& index) {
+  w.u64(static_cast<std::uint64_t>(index.min_day));
+  w.u64(static_cast<std::uint64_t>(index.max_day));
+  w.u64(index.samples);
+  w.u64(index.exploits);
+  w.u64(index.ddos);
+  w.u64(index.degraded);
+  w.u32(static_cast<std::uint32_t>(index.family_counts.size()));
+  for (const auto& [family, n] : index.family_counts) {
+    w.u8(family);
+    w.u64(n);
+  }
+  w.u32(static_cast<std::uint32_t>(index.c2_live_days.size()));
+  for (const auto& [addr, days] : index.c2_live_days) {
+    w.lp16(addr);
+    put_days(w, days);
+  }
+  w.u32(static_cast<std::uint32_t>(index.exploit_stats.size()));
+  for (const auto& [vuln, stat] : index.exploit_stats) {
+    w.u8(vuln);
+    w.u64(stat.count);
+    put_days(w, stat.days);
+  }
+}
+
+SegmentIndex decode_index(util::ByteReader& r) {
+  SegmentIndex index;
+  index.min_day = static_cast<std::int64_t>(r.u64());
+  index.max_day = static_cast<std::int64_t>(r.u64());
+  index.samples = r.u64();
+  index.exploits = r.u64();
+  index.ddos = r.u64();
+  index.degraded = r.u64();
+  const std::uint32_t n_families = r.u32();
+  for (std::uint32_t i = 0; i < n_families; ++i) {
+    const std::uint8_t family = r.u8();
+    index.family_counts[family] = r.u64();
+  }
+  const std::uint32_t n_addrs = r.u32();
+  for (std::uint32_t i = 0; i < n_addrs; ++i) {
+    std::string addr = util::to_string(r.lp16());
+    index.c2_live_days.emplace(std::move(addr), get_days(r));
+  }
+  const std::uint32_t n_vulns = r.u32();
+  for (std::uint32_t i = 0; i < n_vulns; ++i) {
+    const std::uint8_t vuln = r.u8();
+    ExploitStat stat;
+    stat.count = r.u64();
+    stat.days = get_days(r);
+    index.exploit_stats.emplace(vuln, std::move(stat));
+  }
+  return index;
+}
+
+util::Bytes encode_segment(SegmentHeader header, const SegmentIndex& index,
+                           util::BytesView payload) {
+  util::ByteWriter iw;
+  encode_index(iw, index);
+  const auto& index_bytes = iw.bytes();
+  header.index_len = static_cast<std::uint32_t>(index_bytes.size());
+  header.payload_len = static_cast<std::uint32_t>(payload.size());
+
+  util::ByteWriter w;
+  w.u32(kSegmentMagic);
+  w.u8(kSegmentVersion);
+  w.u8(static_cast<std::uint8_t>(header.kind));
+  w.u64(header.fingerprint);
+  w.u32(header.shard_index);
+  w.u32(header.shard_count);
+  w.u64(header.seed);
+  w.u32(header.index_len);
+  w.u32(header.payload_len);
+  w.raw(util::BytesView{index_bytes});
+  w.raw(payload);
+  return w.take();
+}
+
+std::optional<SegmentHeader> decode_segment_header(util::BytesView data) {
+  if (data.size() < kSegmentHeaderSize) return std::nullopt;
+  util::ByteReader r(data);
+  if (r.u32() != kSegmentMagic) return std::nullopt;
+  if (r.u8() != kSegmentVersion) return std::nullopt;
+  SegmentHeader header;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(SegmentKind::kCompacted)) return std::nullopt;
+  header.kind = static_cast<SegmentKind>(kind);
+  header.fingerprint = r.u64();
+  header.shard_index = r.u32();
+  header.shard_count = r.u32();
+  header.seed = r.u64();
+  header.index_len = r.u32();
+  header.payload_len = r.u32();
+  return header;
+}
+
+std::string content_hash(util::BytesView data) {
+  // Four FNV-1a lanes with distinct offset bases -> 256 bits of stable id
+  // (same construction as mal::digest; collision-resistance is not a goal,
+  // torn-write detection is).
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (int lane = 0; lane < 4; ++lane) {
+    std::uint64_t h =
+        0xcbf29ce484222325ULL ^ (0x9E3779B97F4A7C15ULL * (lane + 1));
+    for (const auto b : data) {
+      h ^= b;
+      h *= 0x100000001b3ULL;
+    }
+    for (int i = 15; i >= 0; --i) {
+      out.push_back(kHex[(h >> (i * 4)) & 0xF]);
+    }
+  }
+  return out;
+}
+
+}  // namespace malnet::store

@@ -1,0 +1,110 @@
+// malnet::store segment format (DESIGN.md §12).
+//
+// A segment is one immutable, content-hashed unit of study output: a fixed
+// 38-byte header, a small query index, and the full MDS payload
+// (report::serialize_datasets bytes). Readers that only need aggregate
+// answers — C2-liveness time series, per-family counts, per-vulnerability
+// exploit attribution — read header + index and never touch the payload;
+// the store surfaces the byte counts as store.* metrics so that
+// partial-read behaviour is testable, not just claimed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "util/bytes.hpp"
+
+namespace malnet::store {
+
+inline constexpr std::uint32_t kSegmentMagic = 0x4D534731;  // "MSG1"
+inline constexpr std::uint8_t kSegmentVersion = 1;
+/// Byte size of the fixed header (everything before the index block):
+/// magic, version, kind, fingerprint, shard_index, shard_count, seed,
+/// index_len, payload_len.
+inline constexpr std::size_t kSegmentHeaderSize = 4 + 1 + 1 + 8 + 4 + 4 + 8 + 4 + 4;
+
+/// What produced a segment. kShard segments carry one seed-shard of a
+/// `--store` study (resume skips them); kIngest segments carry a whole
+/// merged batch appended by `malnetctl ingest`; kCompacted segments are the
+/// deterministic merge `compact` leaves behind.
+enum class SegmentKind : std::uint8_t { kShard = 0, kIngest = 1, kCompacted = 2 };
+
+[[nodiscard]] std::string to_string(SegmentKind kind);
+[[nodiscard]] std::optional<SegmentKind> segment_kind_from_string(std::string_view s);
+
+/// Per-vulnerability exploit-attribution rollup.
+struct ExploitStat {
+  std::uint64_t count = 0;
+  std::vector<std::int64_t> days;  // sorted distinct observation days
+
+  friend bool operator==(const ExploitStat&, const ExploitStat&) = default;
+};
+
+/// The query index. Everything `malnetctl query`/`serve` answers derives
+/// from these per-segment rollups, merged across segments exactly the way
+/// core::merge_study_results merges the underlying datasets (day lists
+/// union, counts add), so index-level answers always match what a
+/// monolithic StudyResults would report.
+struct SegmentIndex {
+  std::int64_t min_day = 0;
+  std::int64_t max_day = -1;  // max < min encodes "no dated records"
+  std::uint64_t samples = 0;
+  std::uint64_t exploits = 0;
+  std::uint64_t ddos = 0;
+  std::uint64_t degraded = 0;
+  /// proto::Family value -> sample count.
+  std::map<std::uint8_t, std::uint64_t> family_counts;
+  /// Every D-C2s address -> its (possibly empty) sorted live-day list.
+  /// Keys are the full address set, so distinct-C2 counts are exact.
+  std::map<std::string, std::vector<std::int64_t>> c2_live_days;
+  /// vulndb::VulnId value -> rollup.
+  std::map<std::uint8_t, ExploitStat> exploit_stats;
+
+  friend bool operator==(const SegmentIndex&, const SegmentIndex&) = default;
+
+  /// Folds `other` in: counts add, day lists union sorted. Commutative and
+  /// associative, mirroring merge_study_results.
+  void merge(const SegmentIndex& other);
+
+  /// Live-C2 time series: day -> number of addresses live that day.
+  [[nodiscard]] std::map<std::int64_t, std::uint64_t> liveness_series() const;
+  [[nodiscard]] std::uint64_t distinct_c2s() const { return c2_live_days.size(); }
+};
+
+[[nodiscard]] SegmentIndex build_index(const core::StudyResults& results);
+void encode_index(util::ByteWriter& w, const SegmentIndex& index);
+/// Throws util::TruncatedInput on malformed input.
+[[nodiscard]] SegmentIndex decode_index(util::ByteReader& r);
+
+/// Identity of a segment as recorded in its header and the manifest.
+/// index_len/payload_len are filled by encode_segment.
+struct SegmentHeader {
+  SegmentKind kind = SegmentKind::kShard;
+  std::uint64_t fingerprint = 0;
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  std::uint64_t seed = 0;
+  std::uint32_t index_len = 0;
+  std::uint32_t payload_len = 0;
+};
+
+/// Encodes a whole segment file (header + index + MDS payload); the
+/// header's length fields are computed here.
+[[nodiscard]] util::Bytes encode_segment(SegmentHeader header,
+                                         const SegmentIndex& index,
+                                         util::BytesView payload);
+
+/// Parses and validates the fixed header (first kSegmentHeaderSize bytes).
+/// Returns nullopt on bad magic/version or a short buffer.
+[[nodiscard]] std::optional<SegmentHeader> decode_segment_header(util::BytesView data);
+
+/// 256-bit content hash as 64 hex chars — four seeded FNV-1a lanes, stable
+/// across platforms. Segment files are named by its first 16 characters.
+[[nodiscard]] std::string content_hash(util::BytesView data);
+
+}  // namespace malnet::store

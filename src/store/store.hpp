@@ -1,0 +1,141 @@
+// malnet::store — crash-safe incremental study store (DESIGN.md §12).
+//
+// The paper's pipeline is longitudinal: collection and detonation run daily
+// for a year and the analyses are continuously re-derived (§1, §5). The
+// reproduction's equivalent is a durable, append-only store of study
+// output, so a killed run resumes instead of recomputing and new batches
+// accumulate next to old ones.
+//
+// On-disk layout:
+//   DIR/MANIFEST            committed-segment journal (atomic replace)
+//   DIR/segments/<h16>.seg  immutable content-hashed segments
+//
+// Commit protocol (the crash-safety argument): a segment's bytes are staged
+// with util::write_file_atomic (temp in the same directory + fsync +
+// rename), and only then published by atomically replacing MANIFEST the
+// same way. A crash before the segment rename leaves a hidden temp; a crash
+// between the renames leaves an unreferenced segment file; both are
+// garbage-collected on the next open. A crash during either rename leaves
+// the previous complete version of that file. The manifest is therefore
+// always a consistent list of fully-durable, hash-verifiable segments —
+// the invariant `--resume` builds on.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/parallel_study.hpp"
+#include "obs/metrics.hpp"
+#include "store/segment.hpp"
+
+namespace malnet::store {
+
+inline constexpr std::uint32_t kManifestVersion = 1;
+
+/// One manifest entry. `file` is the name under DIR/segments/, `hash` the
+/// full 64-hex content hash of the file bytes (the name is its prefix).
+struct SegmentMeta {
+  std::uint64_t seq = 0;  // commit sequence; compaction merges in seq order
+  SegmentKind kind = SegmentKind::kShard;
+  std::uint64_t fingerprint = 0;
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  std::uint64_t seed = 0;
+  std::uint64_t bytes = 0;  // file size
+  std::string hash;
+  std::string file;
+};
+
+/// The store handle. All mutating operations are serialized on an internal
+/// mutex, so ParallelStudy workers can commit shards concurrently.
+///
+/// Metrics (registry()): store.segments_written, store.bytes_written,
+/// store.resume_hits / resume_misses / verify_failures, store.orphans_removed,
+/// store.segments_compacted / bytes_compacted, store.segments_opened,
+/// store.index_bytes_read / payload_bytes_read, store.queries and the
+/// store.query_latency_us histogram (the one wall-clock quantity — query
+/// latency is an operational measurement, not study output, and is never
+/// part of a byte-compared artifact).
+class Store {
+ public:
+  /// Opens the store at `dir`, creating the directory tree if absent,
+  /// replaying MANIFEST and garbage-collecting crash litter. Throws on a
+  /// corrupt manifest (a torn manifest cannot occur under the commit
+  /// protocol; corruption means outside interference).
+  explicit Store(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  /// Manifest snapshot in commit (seq) order.
+  [[nodiscard]] std::vector<SegmentMeta> segments() const;
+
+  /// Commits `results` as one durable segment and returns its entry.
+  /// Idempotent: committing byte-identical content returns the existing
+  /// entry; re-committing a (kind=shard, fingerprint, shard) slot with
+  /// different content replaces the old entry. Thread-safe.
+  SegmentMeta commit(const core::StudyResults& results, SegmentKind kind,
+                     std::uint64_t fingerprint, std::uint32_t shard_index,
+                     std::uint32_t shard_count, std::uint64_t seed);
+
+  /// Resume lookup: the committed shard segment for (fingerprint,
+  /// shard_index, shard_count) whose on-disk bytes verify against the
+  /// manifest hash. Returns nullopt — never throws — when the segment is
+  /// missing, torn, or unparsable, so the caller re-runs the shard.
+  [[nodiscard]] std::optional<core::StudyResults> load_verified_shard(
+      std::uint64_t fingerprint, std::uint32_t shard_index,
+      std::uint32_t shard_count);
+
+  /// Full payload (whole-file read + hash verification). Throws on
+  /// corruption.
+  [[nodiscard]] core::StudyResults load_payload(const SegmentMeta& meta);
+
+  /// Query index only: reads header + index bytes, never the payload
+  /// (store.index_bytes_read counts exactly what was read). Throws on a
+  /// malformed header.
+  [[nodiscard]] SegmentIndex load_index(const SegmentMeta& meta);
+
+  /// Deterministically merges every segment (seq order, via
+  /// core::merge_study_results) into a single kCompacted segment, replaces
+  /// the manifest and removes the old files. Query answers are unchanged.
+  /// Throws if the store is empty; a single-segment store is a no-op.
+  SegmentMeta compact();
+
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+  [[nodiscard]] obs::MetricsSnapshot metrics() const { return registry_.snapshot(); }
+
+ private:
+  void replay_manifest();
+  /// Serializes segments_ and atomically replaces MANIFEST. Caller holds mu_.
+  void write_manifest_locked();
+  /// Removes stale atomic-write temps and segment files the manifest does
+  /// not reference (crash litter between the two commit renames).
+  void collect_garbage();
+  [[nodiscard]] std::string manifest_path() const { return dir_ + "/MANIFEST"; }
+  [[nodiscard]] std::string segment_path(const std::string& file) const {
+    return dir_ + "/segments/" + file;
+  }
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::vector<SegmentMeta> segments_;
+  std::uint64_t next_seq_ = 1;
+  obs::Registry registry_;
+};
+
+/// Hash of every CLI-settable knob that changes the study's output (seed,
+/// population size, shard count, chaos profile/seed, loss, probe flags,
+/// thresholds). Shard segments record it so `--resume` only ever reuses
+/// results from an identically-configured study.
+[[nodiscard]] std::uint64_t study_fingerprint(const core::ParallelStudyConfig& cfg);
+
+/// Runs a store-backed (optionally resumed) study. Every freshly computed
+/// shard is committed as it finishes; with `resume`, shards whose segments
+/// verify are loaded instead of re-run. The merged results are byte-
+/// identical (as an MDS artifact) to ParallelStudy::run() on the same
+/// config, whatever subset of shards was already committed.
+[[nodiscard]] core::StudyResults run_store_study(core::ParallelStudyConfig cfg,
+                                                 Store& store, bool resume);
+
+}  // namespace malnet::store

@@ -1,11 +1,15 @@
-// Tests for str, stats, simtime, csv and thread-pool helpers.
+// Tests for str, stats, simtime, csv, fsio and thread-pool helpers.
 #include <gtest/gtest.h>
+
+#include <unistd.h>
 
 #include <atomic>
 #include <cmath>
+#include <fstream>
 #include <numeric>
 
 #include "util/csv.hpp"
+#include "util/fsio.hpp"
 #include "util/simtime.hpp"
 #include "util/stats.hpp"
 #include "util/str.hpp"
@@ -277,4 +281,36 @@ TEST(ThreadPool, ZeroWorkersClampsToOne) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.worker_count(), 1u);
   EXPECT_GE(ThreadPool::default_worker_count(), 1u);
+}
+
+// --- fsio --------------------------------------------------------------------
+
+TEST(Fsio, TempNamingRoundTrip) {
+  EXPECT_EQ(atomic_temp_path("/a/b/out.mds", 42), "/a/b/.out.mds.tmp42");
+  EXPECT_EQ(atomic_temp_path("out.mds", 7), "./.out.mds.tmp7");
+  EXPECT_TRUE(is_atomic_temp_name(".out.mds.tmp42"));
+  EXPECT_TRUE(is_atomic_temp_name(".MANIFEST.tmp1"));
+  EXPECT_FALSE(is_atomic_temp_name("out.mds"));
+  EXPECT_FALSE(is_atomic_temp_name("MANIFEST"));
+  EXPECT_FALSE(is_atomic_temp_name(".hidden"));
+  EXPECT_FALSE(is_atomic_temp_name(".x.tmp"));     // no pid digits
+  EXPECT_FALSE(is_atomic_temp_name(".x.tmp12a"));  // non-digit suffix
+}
+
+TEST(Fsio, WriteFileAtomicWritesAndReplaces) {
+  const auto path = ::testing::TempDir() + "/fsio_target.bin";
+  write_file_atomic(path, std::string_view("first"));
+  write_file_atomic(path, std::string_view("second, longer content"));
+  std::ifstream f(path, std::ios::binary);
+  std::string got((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(got, "second, longer content");
+  EXPECT_FALSE(std::ifstream(atomic_temp_path(path, static_cast<long>(getpid())))
+                   .good());
+}
+
+TEST(Fsio, WriteFileAtomicThrowsOnMissingDirectory) {
+  EXPECT_THROW(
+      write_file_atomic("/nonexistent-dir-for-fsio-test/x", std::string_view("v")),
+      std::runtime_error);
 }

@@ -4,13 +4,18 @@
 //   malnetctl inspect <file.mbf>
 //   malnetctl analyze <file.mbf> [--pcap <out.pcap>]
 //   malnetctl study   [--samples N] [--seed N] [--shards N] [--jobs N]
-//                     [--no-probe] [--claims]
+//                     [--no-probe] [--claims] [--store <dir> [--resume]]
+//   malnetctl ingest  --store <dir> (<file.mds> ... | study options)
+//   malnetctl compact --store <dir>
+//   malnetctl query   --store <dir> [<query> ...]
+//   malnetctl serve   --store <dir>
 //   malnetctl export-rules [--samples N] [--seed N] --out <file.rules>
 //
 // `forge` produces the same inert MBF artifacts the test corpus uses;
 // `analyze` runs the observe-mode sandbox plus C2 classification and
 // exploit attribution on one file; `study` runs the pipeline and prints the
-// headline tables (or the claim scorecard with --claims).
+// headline tables (or the claim scorecard with --claims). The store
+// commands manage the crash-safe incremental store (DESIGN.md §12).
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -34,6 +39,8 @@
 #include "report/figures.hpp"
 #include "report/rules_export.hpp"
 #include "report/tables.hpp"
+#include "store/query.hpp"
+#include "store/store.hpp"
 #include "util/log.hpp"
 
 namespace {
@@ -48,7 +55,8 @@ using namespace malnet;
       "  inspect <file.mbf>\n"
       "  analyze <file.mbf> [--pcap <out.pcap>]\n"
       "  study [--samples N] [--seed N] [--shards N] [--jobs N] [--no-probe]\n"
-      "        [--claims] [--save-datasets <file.mds>]\n"
+      "        [--claims] [--save-datasets <file.mds>] [--strict]\n"
+      "        [--store <dir> [--resume]]\n"
       "        [--metrics-out <m.json>] [--trace-out <t.json>] [--profile]\n"
       "        [--chaos <none|flaky|hostile>] [--chaos-seed N]\n"
       "        (--chaos injects deterministic faults (loss bursts, dup/\n"
@@ -61,7 +69,17 @@ using namespace malnet;
       "         --metrics-out writes the merged registry snapshot (JSON,\n"
       "         byte-identical for any --jobs); --trace-out writes a Chrome\n"
       "         trace_event file for chrome://tracing or ui.perfetto.dev;\n"
-      "         --profile prints the per-phase table.)\n"
+      "         --profile prints the per-phase table.\n"
+      "         --store commits each finished shard into a crash-safe\n"
+      "         segment store; --resume skips shards already committed by an\n"
+      "         identically-configured run. --strict exits 3 when any sample\n"
+      "         degraded.)\n"
+      "  ingest --store <dir> (<file.mds> ... | study options)\n"
+      "        (appends dataset batches to a store as segments)\n"
+      "  compact --store <dir>   (merge all segments into one, deterministically)\n"
+      "  query --store <dir> [--metrics-out <m.json>] [<query> ...]\n"
+      "        (index-only answers; 'malnetctl query --store D help' lists them)\n"
+      "  serve --store <dir>   (answer query lines from stdin until EOF/quit)\n"
       "  report <file.mds>   (re-render tables from a saved dataset artifact)\n"
       "  dossier <file.mds> <c2-address|sample-sha>\n"
       "  digest <file.mds> [--week N]\n"
@@ -107,7 +125,8 @@ Args parse_args(int argc, char** argv, int first) {
       // --key=value form (e.g. --chaos=hostile) splits in place.
       if (const auto eq = key.find('='); eq != std::string::npos) {
         args.flags[key.substr(0, eq)] = key.substr(eq + 1);
-      } else if (key == "no-probe" || key == "claims" || key == "profile") {
+      } else if (key == "no-probe" || key == "claims" || key == "profile" ||
+                 key == "resume" || key == "strict") {
         args.flags[key] = "1";
       } else if (i + 1 < argc) {
         args.flags[key] = argv[++i];
@@ -236,7 +255,7 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
-core::StudyResults run_study(const Args& args) {
+core::ParallelStudyConfig build_study_config(const Args& args) {
   core::ParallelStudyConfig cfg;
   cfg.base.seed = std::stoull(args.get("seed", "22"));
   if (args.has("samples")) cfg.base.world.total_samples = std::stoi(args.get("samples"));
@@ -255,7 +274,28 @@ core::StudyResults run_study(const Args& args) {
   cfg.jobs = std::stoi(args.get("jobs", "0"));
   // --jobs alone still parallelizes: the study splits into one shard per job.
   cfg.shards = std::stoi(args.get("shards", cfg.jobs > 0 ? args.get("jobs") : "1"));
-  return core::ParallelStudy(cfg).run();
+  return cfg;
+}
+
+core::StudyResults run_study(const Args& args) {
+  auto cfg = build_study_config(args);
+  if (!args.has("store")) {
+    if (args.has("resume")) {
+      throw std::runtime_error("--resume requires --store");
+    }
+    return core::ParallelStudy(std::move(cfg)).run();
+  }
+  store::Store st(args.get("store"));
+  auto results = store::run_store_study(std::move(cfg), st, args.has("resume"));
+  const auto snap = st.metrics();
+  const auto count = [&snap](const char* key) -> std::uint64_t {
+    const auto it = snap.counters.find(key);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+  std::cout << "store " << st.dir() << ": "
+            << count("store.segments_written") << " segment(s) written, "
+            << count("store.resume_hits") << " shard(s) resumed\n";
+  return results;
 }
 
 int cmd_study(const Args& args) {
@@ -285,6 +325,12 @@ int cmd_study(const Args& args) {
   }
   if (!results.degraded.empty()) {
     std::cout << "degraded samples: " << results.degraded.size() << '\n';
+    // --strict turns silent degradation into a failed exit for CI callers.
+    if (args.has("strict")) {
+      std::cerr << "strict: " << results.degraded.size()
+                << " degraded sample(s)\n";
+      return 3;
+    }
   }
   // Every world copies the one standard AS database, so report rendering
   // does not need the (possibly sharded, already destroyed) pipelines.
@@ -296,6 +342,63 @@ int cmd_study(const Args& args) {
               << report::table3_ti_miss(results) << '\n'
               << report::figure11_ddos_types(results, asdb);
   }
+  return 0;
+}
+
+int cmd_ingest(const Args& args) {
+  if (!args.has("store")) usage();
+  store::Store st(args.get("store"));
+  if (args.positional.empty()) {
+    // No artifacts given: run a study batch and ingest its merged result.
+    const auto results = core::ParallelStudy(build_study_config(args)).run();
+    const auto meta = st.commit(results, store::SegmentKind::kIngest, 0, 0, 1,
+                                std::stoull(args.get("seed", "22")));
+    std::cout << "ingested study batch as " << meta.file << " (" << meta.bytes
+              << " bytes)\n";
+    return 0;
+  }
+  for (const auto& path : args.positional) {
+    const auto results = report::load_datasets(path);
+    const auto meta = st.commit(results, store::SegmentKind::kIngest, 0, 0, 1, 0);
+    std::cout << "ingested " << path << " as " << meta.file << " (" << meta.bytes
+              << " bytes)\n";
+  }
+  return 0;
+}
+
+int cmd_compact(const Args& args) {
+  if (!args.has("store")) usage();
+  store::Store st(args.get("store"));
+  const auto before = st.segments().size();
+  const auto meta = st.compact();
+  std::cout << "compacted " << before << " segment(s) into " << meta.file << " ("
+            << meta.bytes << " bytes)\n";
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  if (!args.has("store")) usage();
+  store::Store st(args.get("store"));
+  store::QueryEngine engine(st);
+  if (args.positional.empty()) {
+    std::cout << engine.answer("totals") << '\n';
+  } else {
+    for (const auto& q : args.positional) std::cout << engine.answer(q) << '\n';
+  }
+  if (args.has("metrics-out")) {
+    // Store-side counters (index vs payload bytes read, query count and
+    // latency) — the proof that answers came from partial reads.
+    std::ofstream out(args.get("metrics-out"));
+    if (!out) throw std::runtime_error("cannot write " + args.get("metrics-out"));
+    out << st.metrics().to_json() << '\n';
+  }
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  if (!args.has("store")) usage();
+  store::Store st(args.get("store"));
+  store::serve_loop(st, std::cin, std::cout);
   return 0;
 }
 
@@ -400,6 +503,10 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmd_inspect(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "study") return cmd_study(args);
+    if (cmd == "ingest") return cmd_ingest(args);
+    if (cmd == "compact") return cmd_compact(args);
+    if (cmd == "query") return cmd_query(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "report") return cmd_report(args);
     if (cmd == "dossier") return cmd_dossier(args);
     if (cmd == "digest") return cmd_digest(args);

@@ -39,6 +39,45 @@ if(NOT rc EQUAL 0 OR NOT out MATCHES "D-Samples   60")
   message(FATAL_ERROR "sharded study failed: ${out}${err}")
 endif()
 
+# Store-backed study: shards commit as segments, --resume must skip all of
+# them and reproduce the identical artifact, and the query layer must keep
+# answering across a compaction.
+file(REMOVE_RECURSE smoke-store)
+execute_process(COMMAND ${CTL} study --samples 60 --no-probe --jobs 2
+                        --store smoke-store --save-datasets smoke-store.mds
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "2 segment\\(s\\) written")
+  message(FATAL_ERROR "store study failed: ${out}${err}")
+endif()
+execute_process(COMMAND ${CTL} study --samples 60 --no-probe --jobs 2
+                        --store smoke-store --resume
+                        --save-datasets smoke-resume.mds
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "2 shard\\(s\\) resumed")
+  message(FATAL_ERROR "store resume failed: ${out}${err}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        smoke-store.mds smoke-resume.mds
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed study artifact differs from the original")
+endif()
+execute_process(COMMAND ${CTL} query --store smoke-store totals
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "samples=60")
+  message(FATAL_ERROR "store query failed: ${out}")
+endif()
+execute_process(COMMAND ${CTL} compact --store smoke-store
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "compact failed: ${out}")
+endif()
+execute_process(COMMAND ${CTL} query --store smoke-store totals
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "samples=60 .* segments=1")
+  message(FATAL_ERROR "post-compact query failed: ${out}")
+endif()
+
 # The quickstart example is the README's first command; it must keep
 # running end-to-end.
 if(DEFINED QUICKSTART)
