@@ -1,0 +1,415 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+#include "serve/wire.hpp"
+#include "util/socket.hpp"
+#include "util/thread_pool.hpp"
+
+namespace malnet::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Same bounds as store.query_latency_us, so server-side and engine-side
+/// latency distributions are directly comparable.
+const std::vector<std::int64_t> kLatencyBounds = {100, 1000, 10000, 100000,
+                                                  1000000};
+
+/// Poll-loop tick: upper bound on how stale idle-timeout checks and stop
+///-flag observation can be.
+constexpr int kTickMs = 100;
+
+struct Connection {
+  util::Fd fd;
+  FrameReader reader;
+  util::Bytes out;
+  std::size_t out_pos = 0;
+  /// Responses queued since the output buffer last fully drained — the
+  /// pipelining depth the backpressure bound applies to.
+  int pending_responses = 0;
+  Clock::time_point last_active = Clock::now();
+  bool paused = false;    // backpressure: reads off until output drains
+  bool closing = false;   // flush pending output, then close
+  bool read_eof = false;  // peer half-closed; no more requests will arrive
+
+  [[nodiscard]] std::size_t out_pending() const { return out.size() - out_pos; }
+
+  void queue(util::Bytes frame) {
+    if (out_pos > 0 && out_pos >= out.size() / 2) {
+      out.erase(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(out_pos));
+      out_pos = 0;
+    }
+    out.insert(out.end(), frame.begin(), frame.end());
+    ++pending_responses;
+  }
+};
+
+/// A self-pipe: the only async-signal-safe and poll()-able wakeup there is.
+struct WakePipe {
+  util::Fd rd, wr;
+
+  WakePipe() {
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0) {
+      throw std::runtime_error(std::string("serve: pipe: ") +
+                               std::strerror(errno));
+    }
+    rd.reset(fds[0]);
+    wr.reset(fds[1]);
+    util::set_nonblocking(rd.get(), true);
+    util::set_nonblocking(wr.get(), true);
+  }
+
+  void wake() const {
+    const char b = 1;
+    [[maybe_unused]] const auto n = ::write(wr.get(), &b, 1);
+  }
+
+  void drain() const {
+    char buf[64];
+    while (::read(rd.get(), buf, sizeof(buf)) > 0) {
+    }
+  }
+};
+
+struct IoThread {
+  std::thread thread;
+  WakePipe wake;
+  std::mutex mu;
+  std::vector<int> pending;  // accepted fds awaiting adoption
+};
+
+}  // namespace
+
+struct Server::Impl {
+  store::Store& store;
+  ServeConfig cfg;
+  obs::Registry& reg;
+
+  std::optional<store::QueryEngine> engine;
+  util::Fd listen_fd;
+  std::thread acceptor;
+  std::vector<std::unique_ptr<IoThread>> io;
+  std::atomic<bool> stopping{false};
+  WakePipe stop_wake;  // request_stop() -> wait()
+  std::mutex stop_mu;
+  bool stopped = false;
+
+  // Instruments are cached once; per-request cost is a relaxed fetch_add.
+  obs::Counter* accepted = nullptr;
+  obs::Counter* closed = nullptr;
+  obs::Gauge* active = nullptr;
+  obs::Counter* requests = nullptr;
+  obs::Counter* protocol_errors = nullptr;
+  obs::Counter* idle_timeouts = nullptr;
+  obs::Counter* backpressure_pauses = nullptr;
+  obs::Counter* bytes_rx = nullptr;
+  obs::Counter* bytes_tx = nullptr;
+  obs::Histogram* latency = nullptr;
+
+  Impl(store::Store& s, ServeConfig c, obs::Registry& r)
+      : store(s), cfg(std::move(c)), reg(r) {
+    accepted = &reg.counter("serve.connections_accepted");
+    closed = &reg.counter("serve.connections_closed");
+    active = &reg.gauge("serve.connections_active");
+    requests = &reg.counter("serve.requests");
+    protocol_errors = &reg.counter("serve.protocol_errors");
+    idle_timeouts = &reg.counter("serve.idle_timeouts");
+    backpressure_pauses = &reg.counter("serve.backpressure_pauses");
+    bytes_rx = &reg.counter("serve.bytes_rx");
+    bytes_tx = &reg.counter("serve.bytes_tx");
+    latency = &reg.histogram("serve.request_latency_us", kLatencyBounds);
+  }
+
+  void accept_loop();
+  void io_loop(IoThread& self);
+
+  /// Answers one decoded request (latency-timed). Any decode failure is a
+  /// protocol error: one status-1 response, then flush-and-close.
+  void handle_frame(Connection& conn, util::BytesView body) {
+    const auto req = decode_request(body);
+    if (!req) {
+      protocol_errors->inc();
+      conn.queue(encode_response(
+          {0, Status::kProtocolError, "err malformed request frame"}));
+      conn.closing = true;
+      return;
+    }
+    const auto t0 = Clock::now();
+    std::string answer = engine->answer(req->query);
+    latency->record(std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - t0)
+                        .count());
+    requests->inc();
+    conn.queue(encode_response({req->id, Status::kOk, std::move(answer)}));
+  }
+
+  /// Parses and answers buffered requests up to the backpressure bounds
+  /// (unbounded when draining). A protocol error sets conn.closing; the
+  /// caller flushes the final status-1 response before closing.
+  void pump_requests(Connection& conn, bool draining) {
+    while (!conn.closing) {
+      if (!draining && (conn.pending_responses >= cfg.max_pipeline ||
+                        conn.out_pending() > cfg.max_output_buffer)) {
+        if (!conn.paused) {
+          conn.paused = true;
+          backpressure_pauses->inc();
+        }
+        break;
+      }
+      auto body = conn.reader.next();
+      if (!body) break;
+      handle_frame(conn, *body);
+    }
+    if (conn.reader.error() && !conn.closing) {
+      protocol_errors->inc();
+      conn.queue(encode_response(
+          {0, Status::kProtocolError, "err oversized frame"}));
+      conn.closing = true;
+    }
+  }
+
+  /// Non-blocking write of pending output. False on a dead socket.
+  bool flush(Connection& conn) {
+    while (conn.out_pending() > 0) {
+      const auto n = ::send(conn.fd.get(), conn.out.data() + conn.out_pos,
+                            conn.out_pending(), MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out_pos += static_cast<std::size_t>(n);
+        bytes_tx->inc(static_cast<std::uint64_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    conn.out.clear();
+    conn.out_pos = 0;
+    conn.pending_responses = 0;
+    if (conn.paused) conn.paused = false;
+    return true;
+  }
+
+  /// Reads until EAGAIN/EOF, feeding the deframer. False on a dead socket.
+  bool read_input(Connection& conn) {
+    std::uint8_t buf[64 * 1024];
+    for (;;) {
+      const auto n = ::recv(conn.fd.get(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        bytes_rx->inc(static_cast<std::uint64_t>(n));
+        conn.reader.feed({buf, static_cast<std::size_t>(n)});
+        conn.last_active = Clock::now();
+        if (static_cast<std::size_t>(n) < sizeof(buf)) return true;
+        continue;
+      }
+      if (n == 0) {
+        conn.read_eof = true;
+        return true;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+
+  void close_conn(Connection& conn) {
+    conn.fd.reset();
+    closed->inc();
+    active->add(-1);
+  }
+};
+
+Server::Server(store::Store& store, ServeConfig cfg, obs::Registry& registry)
+    : impl_(std::make_unique<Impl>(store, std::move(cfg), registry)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.load()) return;
+  // Index-only engine build: the one place segment files are touched.
+  impl_->engine.emplace(impl_->store);
+  auto listen = util::tcp_listen(impl_->cfg.host, impl_->cfg.port);
+  impl_->listen_fd = std::move(listen.fd);
+  port_ = listen.port;
+
+  int threads = impl_->cfg.io_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(
+        std::min<std::size_t>(4, util::ThreadPool::default_worker_count()));
+  }
+  for (int i = 0; i < threads; ++i) {
+    impl_->io.push_back(std::make_unique<IoThread>());
+  }
+  running_.store(true);
+  for (auto& io : impl_->io) {
+    IoThread* self = io.get();
+    io->thread = std::thread([this, self] { impl_->io_loop(*self); });
+  }
+  impl_->acceptor = std::thread([this] { impl_->accept_loop(); });
+}
+
+void Server::request_stop() {
+  impl_->stopping.store(true);
+  impl_->stop_wake.wake();
+}
+
+void Server::wait() {
+  while (!impl_->stopping.load()) {
+    pollfd p{impl_->stop_wake.rd.get(), POLLIN, 0};
+    (void)::poll(&p, 1, kTickMs);
+  }
+  stop();
+}
+
+void Server::stop() {
+  std::lock_guard<std::mutex> lock(impl_->stop_mu);
+  if (impl_->stopped) return;
+  impl_->stopped = true;
+  impl_->stopping.store(true);
+  impl_->stop_wake.wake();
+  for (auto& io : impl_->io) io->wake.wake();
+  if (impl_->acceptor.joinable()) impl_->acceptor.join();
+  for (auto& io : impl_->io) {
+    if (io->thread.joinable()) io->thread.join();
+  }
+  impl_->listen_fd.reset();
+  running_.store(false);
+}
+
+void Server::Impl::accept_loop() {
+  std::size_t next = 0;
+  while (!stopping.load()) {
+    pollfd p{listen_fd.get(), POLLIN, 0};
+    const int rc = ::poll(&p, 1, kTickMs);
+    if (rc <= 0) continue;
+    for (;;) {
+      const int fd = ::accept(listen_fd.get(), nullptr, nullptr);
+      if (fd < 0) break;  // EAGAIN / transient error: back to poll
+      util::set_nonblocking(fd, true);
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      accepted->inc();
+      active->add(1);
+      auto& target = *io[next++ % io.size()];
+      {
+        std::lock_guard<std::mutex> lock(target.mu);
+        target.pending.push_back(fd);
+      }
+      target.wake.wake();
+    }
+  }
+  // Refuse further connections the moment draining starts.
+  listen_fd.reset();
+}
+
+void Server::Impl::io_loop(IoThread& self) {
+  std::vector<Connection> conns;
+  std::vector<pollfd> fds;
+  const auto idle_timeout = std::chrono::milliseconds(cfg.idle_timeout_ms);
+
+  const auto adopt = [&] {
+    std::vector<int> fresh;
+    {
+      std::lock_guard<std::mutex> lock(self.mu);
+      fresh.swap(self.pending);
+    }
+    for (const int fd : fresh) {
+      Connection conn;
+      conn.fd.reset(fd);
+      conn.reader = FrameReader(cfg.max_frame_body);
+      conns.push_back(std::move(conn));
+    }
+  };
+
+  while (!stopping.load()) {
+    fds.clear();
+    fds.push_back({self.wake.rd.get(), POLLIN, 0});
+    for (const auto& conn : conns) {
+      short events = 0;
+      if (!conn.paused && !conn.closing && !conn.read_eof) events |= POLLIN;
+      if (conn.out_pending() > 0) events |= POLLOUT;
+      fds.push_back({conn.fd.get(), events, 0});
+    }
+    (void)::poll(fds.data(), fds.size(), kTickMs);
+    self.wake.drain();
+    adopt();
+
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < conns.size();) {
+      auto& conn = conns[i];
+      // fds and conns can be out of step after adopt(); re-derive liveness
+      // from the socket itself rather than trusting revents indices.
+      bool alive = true;
+      const bool had_fd = i + 1 < fds.size() && fds[i + 1].fd == conn.fd.get();
+      const short rev = had_fd ? fds[i + 1].revents : 0;
+
+      if (rev & (POLLERR | POLLNVAL)) alive = false;
+      if (alive && (rev & (POLLIN | POLLHUP))) {
+        alive = read_input(conn);
+      }
+      // Alternate flush and pump until blocked: a fast-draining client
+      // releases the backpressure pause and gets its next pipeline batch in
+      // the same pass, instead of waiting for the next poll tick.
+      while (alive) {
+        if (conn.out_pending() > 0) {
+          alive = flush(conn);
+          if (!alive) break;
+        }
+        if (conn.out_pending() > 0) break;  // client lagging: wait for POLLOUT
+        if (conn.closing) break;
+        const int before = conn.pending_responses;
+        pump_requests(conn, /*draining=*/false);
+        if (conn.pending_responses == before) break;  // no complete frame left
+      }
+      if (alive && conn.closing && conn.out_pending() == 0) alive = false;
+      if (alive && conn.read_eof && conn.reader.buffered() == 0 &&
+          conn.out_pending() == 0) {
+        alive = false;  // peer finished and everything owed is flushed
+      }
+      if (alive && now - conn.last_active > idle_timeout) {
+        idle_timeouts->inc();
+        alive = false;
+      }
+
+      if (!alive) {
+        close_conn(conn);
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Drain: one final read of whatever each client already wrote (the
+  // listener is gone, so this is bounded), answer it all, then flush each
+  // connection within the drain budget.
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(cfg.drain_timeout_ms);
+  adopt();
+  for (auto& conn : conns) {
+    (void)read_input(conn);
+    pump_requests(conn, /*draining=*/true);
+    while (conn.out_pending() > 0 && Clock::now() < deadline) {
+      if (!flush(conn)) break;
+      if (conn.out_pending() == 0) break;
+      pollfd p{conn.fd.get(), POLLOUT, 0};
+      (void)::poll(&p, 1, kTickMs);
+    }
+    close_conn(conn);
+  }
+}
+
+}  // namespace malnet::serve

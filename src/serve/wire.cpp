@@ -1,0 +1,96 @@
+#include "serve/wire.hpp"
+
+namespace malnet::serve {
+
+namespace {
+
+/// Big-endian u32 at `p` (caller guarantees 4 bytes).
+std::uint32_t read_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+}  // namespace
+
+util::Bytes encode_request(const Request& req) {
+  util::ByteWriter body;
+  body.u32(kRequestMagic);
+  body.u64(req.id);
+  body.raw(req.query);
+
+  util::ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(body.size()));
+  frame.raw(body.bytes());
+  return frame.take();
+}
+
+util::Bytes encode_response(const Response& resp) {
+  util::ByteWriter body;
+  body.u32(kResponseMagic);
+  body.u64(resp.id);
+  body.u8(static_cast<std::uint8_t>(resp.status));
+  body.raw(resp.text);
+
+  util::ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(body.size()));
+  frame.raw(body.bytes());
+  return frame.take();
+}
+
+std::optional<Request> decode_request(util::BytesView body) {
+  if (body.size() < kRequestHeaderSize || body.size() > kMaxFrameBody) {
+    return std::nullopt;
+  }
+  util::ByteReader r(body);
+  if (r.u32() != kRequestMagic) return std::nullopt;
+  Request req;
+  req.id = r.u64();
+  req.query = r.str(r.remaining());
+  return req;
+}
+
+std::optional<Response> decode_response(util::BytesView body) {
+  if (body.size() < kResponseHeaderSize || body.size() > kMaxFrameBody) {
+    return std::nullopt;
+  }
+  util::ByteReader r(body);
+  if (r.u32() != kResponseMagic) return std::nullopt;
+  Response resp;
+  resp.id = r.u64();
+  const auto status = r.u8();
+  if (status > static_cast<std::uint8_t>(Status::kProtocolError)) {
+    return std::nullopt;
+  }
+  resp.status = static_cast<Status>(status);
+  resp.text = r.str(r.remaining());
+  return resp;
+}
+
+void FrameReader::feed(util::BytesView data) {
+  if (error_) return;
+  // Compact lazily: only when the consumed prefix dominates the buffer, so
+  // steady-state pipelining does one memmove per many frames.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<util::Bytes> FrameReader::next() {
+  if (error_) return std::nullopt;
+  if (buf_.size() - pos_ < kFramePrefixSize) return std::nullopt;
+  const std::uint32_t len = read_u32(buf_.data() + pos_);
+  if (len > max_body_) {
+    error_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ - kFramePrefixSize < len) return std::nullopt;
+  const auto* begin = buf_.data() + pos_ + kFramePrefixSize;
+  util::Bytes body(begin, begin + len);
+  pos_ += kFramePrefixSize + len;
+  return body;
+}
+
+}  // namespace malnet::serve

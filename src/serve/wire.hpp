@@ -1,0 +1,86 @@
+// malnet::serve wire protocol (DESIGN.md §13).
+//
+// Length-prefixed binary frames over TCP, designed for pipelining: a client
+// may write any number of request frames before reading a response, and the
+// server answers strictly in arrival order, echoing each request's id.
+//
+//   frame    := u32 body_len (big-endian) || body          body_len <= 1 MiB
+//   request  := u32 magic "MQR1" || u64 id || query bytes (UTF-8 query line)
+//   response := u32 magic "MPR1" || u64 id || u8 status || answer bytes
+//
+// status 0 = ok (answer is the QueryEngine text, byte-identical to what
+// `malnetctl query` prints for the same line); status 1 = protocol error
+// (the server closes the connection after sending it). A frame whose length
+// prefix exceeds the bound, or whose body fails to decode, is a protocol
+// error — never an exception out of the framing layer. Malformed input can
+// only ever cost the sender its own connection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace malnet::serve {
+
+inline constexpr std::uint32_t kRequestMagic = 0x4D515231;   // "MQR1"
+inline constexpr std::uint32_t kResponseMagic = 0x4D505231;  // "MPR1"
+/// Upper bound on a frame body; the length prefix itself is 4 more bytes.
+inline constexpr std::size_t kMaxFrameBody = 1 << 20;
+inline constexpr std::size_t kFramePrefixSize = 4;
+/// Fixed part of a request body (magic + id).
+inline constexpr std::size_t kRequestHeaderSize = 4 + 8;
+/// Fixed part of a response body (magic + id + status).
+inline constexpr std::size_t kResponseHeaderSize = 4 + 8 + 1;
+
+struct Request {
+  std::uint64_t id = 0;
+  std::string query;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+enum class Status : std::uint8_t { kOk = 0, kProtocolError = 1 };
+
+struct Response {
+  std::uint64_t id = 0;
+  Status status = Status::kOk;
+  std::string text;
+
+  friend bool operator==(const Response&, const Response&) = default;
+};
+
+/// Full frame (length prefix included), ready to write to a socket.
+[[nodiscard]] util::Bytes encode_request(const Request& req);
+[[nodiscard]] util::Bytes encode_response(const Response& resp);
+
+/// Decode a frame *body* (length prefix already stripped by FrameReader).
+/// Nullopt on bad magic or a short body; never throws.
+[[nodiscard]] std::optional<Request> decode_request(util::BytesView body);
+[[nodiscard]] std::optional<Response> decode_response(util::BytesView body);
+
+/// Incremental deframer: feed() arbitrary byte chunks as they arrive,
+/// next() yields complete frame bodies in order. A length prefix above
+/// `max_body` poisons the reader (error() stays true, next() stays empty) —
+/// the caller's move is to drop the connection.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_body = kMaxFrameBody)
+      : max_body_(max_body) {}
+
+  void feed(util::BytesView data);
+  [[nodiscard]] std::optional<util::Bytes> next();
+
+  [[nodiscard]] bool error() const { return error_; }
+  /// Bytes buffered but not yet returned (partial frame + unparsed input).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_body_;
+  util::Bytes buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  bool error_ = false;
+};
+
+}  // namespace malnet::serve

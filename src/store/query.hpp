@@ -5,8 +5,9 @@
 // query session), so a year-long multi-segment store answers aggregate
 // questions in milliseconds from a few KB per segment.
 //
-// Query language (one query per line, used by both `malnetctl query` and
-// the `serve` stdin loop):
+// Query language (one query per line, shared by `malnetctl query`, the
+// `serve` stdin loop, and the concurrent TCP server in src/serve,
+// DESIGN.md §13):
 //   totals                 sample/C2/exploit/DDoS/degraded counts + day span
 //   families               per-family sample counts
 //   c2-liveness            live-C2 time series: "<day> <live count>" lines

@@ -1,0 +1,186 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace malnet::util {
+
+namespace {
+
+/// Remaining milliseconds of a deadline (floor 0 once expired).
+int remaining_ms(std::chrono::steady_clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - std::chrono::steady_clock::now())
+                        .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+/// poll() for one event, retrying on EINTR within the deadline. Returns
+/// true when the requested event (or an error/hup, which the caller's
+/// read/write will surface) is pending.
+bool wait_for(int fd, short events, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    pollfd p{fd, events, 0};
+    const int rc = ::poll(&p, 1, remaining_ms(deadline));
+    if (rc > 0) return true;
+    if (rc == 0) return false;  // timeout
+    if (errno != EINTR) return false;
+  }
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port, bool* ok) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  *ok = ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+void set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  const int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags) (void)::fcntl(fd, F_SETFL, want);
+}
+
+ListenResult tcp_listen(const std::string& host, std::uint16_t port,
+                        int backlog) {
+  bool ok = false;
+  sockaddr_in addr = make_addr(host, port, &ok);
+  if (!ok) throw std::runtime_error("tcp_listen: bad IPv4 address " + host);
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw std::runtime_error(std::string("tcp_listen: socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw std::runtime_error(std::string("tcp_listen: bind ") + host + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(errno));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw std::runtime_error(std::string("tcp_listen: listen: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throw std::runtime_error(std::string("tcp_listen: getsockname: ") +
+                             std::strerror(errno));
+  }
+  set_nonblocking(fd.get(), true);
+  return {std::move(fd), ntohs(bound.sin_port)};
+}
+
+Fd tcp_connect(const std::string& host, std::uint16_t port, int timeout_ms) {
+  bool ok = false;
+  sockaddr_in addr = make_addr(host, port, &ok);
+  if (!ok) return {};
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return {};
+  set_nonblocking(fd.get(), true);
+
+  const int rc =
+      ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return {};
+    if (!wait_for(fd.get(), POLLOUT, timeout_ms)) return {};
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      return {};
+    }
+  }
+  set_nonblocking(fd.get(), false);
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool send_all(int fd, BytesView data, int timeout_ms) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const auto n = ::send(fd, data.data() + off, data.size() - off,
+                          MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_for(fd, POLLOUT, timeout_ms)) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+int recv_some(int fd, std::uint8_t* buf, std::size_t n, int timeout_ms) {
+  if (!wait_for(fd, POLLIN, timeout_ms)) return -1;
+  for (;;) {
+    const auto got = ::recv(fd, buf, n, 0);
+    if (got >= 0) return static_cast<int>(got);
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+std::optional<std::pair<std::string, std::uint16_t>> parse_listen_spec(
+    std::string_view spec) {
+  std::string host = "127.0.0.1";
+  std::string_view port_part = spec;
+  if (const auto colon = spec.rfind(':'); colon != std::string_view::npos) {
+    host = std::string(spec.substr(0, colon));
+    port_part = spec.substr(colon + 1);
+  }
+  if (port_part.empty() || port_part.size() > 5) return std::nullopt;
+  std::uint32_t port = 0;
+  for (const char c : port_part) {
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (port > 65535) return std::nullopt;
+  return std::make_pair(std::move(host), static_cast<std::uint16_t>(port));
+}
+
+std::size_t raise_fd_limit(std::size_t want) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 0;
+  if (lim.rlim_cur < want) {
+    rlimit raised = lim;
+    raised.rlim_cur = lim.rlim_max == RLIM_INFINITY
+                          ? want
+                          : std::min<rlim_t>(want, lim.rlim_max);
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) lim = raised;
+  }
+  return lim.rlim_cur == RLIM_INFINITY ? static_cast<std::size_t>(-1)
+                                       : static_cast<std::size_t>(lim.rlim_cur);
+}
+
+}  // namespace malnet::util

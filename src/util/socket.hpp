@@ -1,0 +1,83 @@
+// Minimal POSIX TCP helpers for the serving layer (DESIGN.md §13).
+//
+// Everything here is deliberately thin: RAII file descriptors, IPv4
+// listen/connect with explicit millisecond timeouts, and poll()-guarded
+// send/recv loops. No global state, no hidden retries — retry policy
+// belongs to callers (serve::Client mirrors the dns::Resolver
+// timeout/backoff discipline on top of these primitives).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace malnet::util {
+
+/// RAII owner of a POSIX file descriptor. Move-only; close() on scope exit.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  /// Gives up ownership without closing.
+  int release() { return std::exchange(fd_, -1); }
+  /// Closes the current descriptor (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+struct ListenResult {
+  Fd fd;
+  std::uint16_t port = 0;  // actual bound port (resolves port 0 requests)
+};
+
+/// Binds and listens on an IPv4 host:port (port 0 picks an ephemeral port,
+/// reported back in the result). SO_REUSEADDR is set; the socket is
+/// non-blocking. Throws std::runtime_error on failure.
+[[nodiscard]] ListenResult tcp_listen(const std::string& host,
+                                      std::uint16_t port, int backlog = 256);
+
+/// Connects to an IPv4 host:port with a bounded wait. Returns an invalid Fd
+/// on refusal, timeout, or bad address — never throws. The returned socket
+/// is blocking (callers use the timed send/recv helpers below).
+[[nodiscard]] Fd tcp_connect(const std::string& host, std::uint16_t port,
+                             int timeout_ms);
+
+void set_nonblocking(int fd, bool nonblocking);
+
+/// Writes all of `data`, waiting up to `timeout_ms` for writability between
+/// partial writes. False on error, peer close, or timeout.
+[[nodiscard]] bool send_all(int fd, BytesView data, int timeout_ms);
+
+/// Reads up to `n` bytes once the descriptor is readable. Returns the byte
+/// count, 0 on orderly peer close, -1 on error or timeout.
+[[nodiscard]] int recv_some(int fd, std::uint8_t* buf, std::size_t n,
+                            int timeout_ms);
+
+/// "host:port" or bare "port" (host defaults to 127.0.0.1). Nullopt on a
+/// malformed port.
+[[nodiscard]] std::optional<std::pair<std::string, std::uint16_t>>
+parse_listen_spec(std::string_view spec);
+
+/// Raises the process soft RLIMIT_NOFILE toward `want` (capped at the hard
+/// limit). Returns the soft limit now in effect — load generators check it
+/// before opening a thousand client sockets.
+[[nodiscard]] std::size_t raise_fd_limit(std::size_t want);
+
+}  // namespace malnet::util

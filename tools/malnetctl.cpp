@@ -7,8 +7,8 @@
 //                     [--no-probe] [--claims] [--store <dir> [--resume]]
 //   malnetctl ingest  --store <dir> (<file.mds> ... | study options)
 //   malnetctl compact --store <dir>
-//   malnetctl query   --store <dir> [<query> ...]
-//   malnetctl serve   --store <dir>
+//   malnetctl query   (--store <dir> | --connect <host:port>) [<query> ...]
+//   malnetctl serve   --store <dir> [--listen [host:]port]
 //   malnetctl export-rules [--samples N] [--seed N] --out <file.rules>
 //
 // `forge` produces the same inert MBF artifacts the test corpus uses;
@@ -39,9 +39,14 @@
 #include "report/figures.hpp"
 #include "report/rules_export.hpp"
 #include "report/tables.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "store/query.hpp"
 #include "store/store.hpp"
 #include "util/log.hpp"
+#include "util/socket.hpp"
+
+#include <csignal>
 
 namespace {
 
@@ -79,7 +84,14 @@ using namespace malnet;
       "  compact --store <dir>   (merge all segments into one, deterministically)\n"
       "  query --store <dir> [--metrics-out <m.json>] [<query> ...]\n"
       "        (index-only answers; 'malnetctl query --store D help' lists them)\n"
+      "  query --connect <host:port> [<query> ...]\n"
+      "        (same queries against a running 'serve --listen' server)\n"
       "  serve --store <dir>   (answer query lines from stdin until EOF/quit)\n"
+      "  serve --store <dir> --listen [host:]port [--io-threads N]\n"
+      "        [--idle-timeout-ms N] [--metrics-out <m.json>]\n"
+      "        (concurrent TCP query server; port 0 picks an ephemeral port,\n"
+      "         printed on the 'serving on' line. SIGTERM/SIGINT drains:\n"
+      "         in-flight requests are answered, then the process exits 0.)\n"
       "  report <file.mds>   (re-render tables from a saved dataset artifact)\n"
       "  dossier <file.mds> <c2-address|sample-sha>\n"
       "  digest <file.mds> [--week N]\n"
@@ -376,7 +388,36 @@ int cmd_compact(const Args& args) {
   return 0;
 }
 
+/// Remote variant of `query`: same answers, same output bytes, but fetched
+/// from a running `serve --listen` server over the wire protocol.
+int cmd_query_remote(const Args& args) {
+  const auto spec = util::parse_listen_spec(args.get("connect"));
+  if (!spec) {
+    std::cerr << "bad --connect '" << args.get("connect")
+              << "' (want host:port)\n";
+    return 2;
+  }
+  serve::Client client;
+  if (!client.connect(spec->first, spec->second)) {
+    std::cerr << "cannot connect to " << spec->first << ':' << spec->second
+              << '\n';
+    return 1;
+  }
+  std::vector<std::string> queries = args.positional;
+  if (queries.empty()) queries.push_back("totals");
+  for (const auto& q : queries) {
+    const auto answer = client.query(q);
+    if (!answer) {
+      std::cerr << "query failed (connection lost or timed out)\n";
+      return 1;
+    }
+    std::cout << *answer << '\n';
+  }
+  return 0;
+}
+
 int cmd_query(const Args& args) {
+  if (args.has("connect")) return cmd_query_remote(args);
   if (!args.has("store")) usage();
   store::Store st(args.get("store"));
   store::QueryEngine engine(st);
@@ -395,10 +436,68 @@ int cmd_query(const Args& args) {
   return 0;
 }
 
+/// SIGTERM/SIGINT target for `serve --listen`. request_stop() is
+/// async-signal-safe (atomic store + one pipe write).
+serve::Server* g_serve_server = nullptr;
+
+extern "C" void serve_signal_handler(int) {
+  if (g_serve_server != nullptr) g_serve_server->request_stop();
+}
+
 int cmd_serve(const Args& args) {
   if (!args.has("store")) usage();
   store::Store st(args.get("store"));
-  store::serve_loop(st, std::cin, std::cout);
+  if (!args.has("listen")) {
+    store::serve_loop(st, std::cin, std::cout);
+    return 0;
+  }
+
+  const auto spec = util::parse_listen_spec(args.get("listen"));
+  if (!spec) {
+    std::cerr << "bad --listen '" << args.get("listen")
+              << "' (want port or host:port)\n";
+    return 2;
+  }
+  serve::ServeConfig cfg;
+  cfg.host = spec->first;
+  cfg.port = spec->second;
+  if (args.has("io-threads")) cfg.io_threads = std::stoi(args.get("io-threads"));
+  if (args.has("idle-timeout-ms")) {
+    cfg.idle_timeout_ms = std::stoi(args.get("idle-timeout-ms"));
+  }
+
+  obs::Registry registry;
+  serve::Server server(st, cfg, registry);
+  server.start();
+  g_serve_server = &server;
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGINT, serve_signal_handler);
+
+  // The "serving on" line is the readiness signal scripts wait for (and
+  // where an ephemeral --listen 0 port is reported).
+  std::cout << "serving on " << cfg.host << ':' << server.port() << " ("
+            << st.segments().size() << " segment(s))" << std::endl;
+  server.wait();  // blocks until SIGTERM/SIGINT, then drains
+  g_serve_server = nullptr;
+
+  // Serve and store counters merged into one summary/artifact: the
+  // payload_bytes_read field is the index-only-under-concurrency proof.
+  auto merged = registry.snapshot();
+  merged.merge(st.metrics());
+  const auto count = [&merged](const char* key) -> std::uint64_t {
+    const auto it = merged.counters.find(key);
+    return it == merged.counters.end() ? 0 : it->second;
+  };
+  std::cout << "drained: requests=" << count("serve.requests")
+            << " connections=" << count("serve.connections_accepted")
+            << " protocol_errors=" << count("serve.protocol_errors")
+            << " payload_bytes_read=" << count("store.payload_bytes_read")
+            << std::endl;
+  if (args.has("metrics-out")) {
+    std::ofstream out(args.get("metrics-out"));
+    if (!out) throw std::runtime_error("cannot write " + args.get("metrics-out"));
+    out << merged.to_json() << '\n';
+  }
   return 0;
 }
 
