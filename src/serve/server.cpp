@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -137,11 +138,35 @@ struct Server::Impl {
   void accept_loop();
   void io_loop(IoThread& self);
 
-  /// Answers one decoded request (latency-timed). Any decode failure is a
-  /// protocol error: one status-1 response, then flush-and-close.
+  /// Largest frame body any single connection may carry: query frames are
+  /// capped at max_frame_body, but with an aux handler installed the same
+  /// socket also carries the aux family's (typically larger) frames.
+  [[nodiscard]] std::size_t effective_max_body() const {
+    return cfg.aux_handler
+               ? std::max(cfg.max_frame_body, cfg.max_aux_frame_body)
+               : cfg.max_frame_body;
+  }
+
+  /// Answers one decoded request (latency-timed). A body the query codec
+  /// rejects goes to the aux handler when one is installed; a decode
+  /// failure everywhere is a protocol error: one status-1 response, then
+  /// flush-and-close.
   void handle_frame(Connection& conn, util::BytesView body) {
     const auto req = decode_request(body);
     if (!req) {
+      if (cfg.aux_handler) {
+        const auto t0 = Clock::now();
+        auto frame = cfg.aux_handler(body);
+        if (frame) {
+          latency->record(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - t0)
+                  .count());
+          requests->inc();
+          conn.queue(std::move(*frame));
+          return;
+        }
+      }
       protocol_errors->inc();
       conn.queue(encode_response(
           {0, Status::kProtocolError, "err malformed request frame"}));
@@ -329,7 +354,7 @@ void Server::Impl::io_loop(IoThread& self) {
     for (const int fd : fresh) {
       Connection conn;
       conn.fd.reset(fd);
-      conn.reader = FrameReader(cfg.max_frame_body);
+      conn.reader = FrameReader(effective_max_body());
       conns.push_back(std::move(conn));
     }
   };

@@ -33,7 +33,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,6 +43,7 @@
 #include "obs/metrics.hpp"
 #include "store/query.hpp"
 #include "store/store.hpp"
+#include "util/bytes.hpp"
 
 namespace malnet::serve {
 
@@ -58,6 +61,16 @@ struct ServeConfig {
   /// Pending response bytes per connection before reads pause.
   std::size_t max_output_buffer = 4 << 20;
   std::size_t max_frame_body = 1 << 20;
+  /// Escape hatch for a second frame family on the same port (the sync
+  /// protocol, DESIGN.md §14): a body the query codec rejects is offered
+  /// here and the handler returns a complete response frame — or nullopt
+  /// to have the body treated as a protocol error. Handlers run inline on
+  /// the I/O threads and must be thread-safe.
+  std::function<std::optional<util::Bytes>(util::BytesView)> aux_handler;
+  /// Frame-body bound while aux_handler is set (aux frames — whole
+  /// segments — dwarf query frames; the effective per-connection limit is
+  /// the larger of the two bounds).
+  std::size_t max_aux_frame_body = 1 << 20;
 };
 
 /// Metrics (on the registry passed in, all `serve.`-prefixed):

@@ -1,0 +1,86 @@
+#include "store/merkle.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "store/segment.hpp"
+#include "util/bytes.hpp"
+
+namespace malnet::store {
+
+namespace {
+
+constexpr std::string_view kHexDigits = "0123456789abcdef";
+
+}  // namespace
+
+bool is_hex_lower(std::string_view s) {
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  });
+}
+
+std::string set_hash(const std::string* begin, const std::string* end) {
+  std::string joined;
+  joined.reserve(static_cast<std::size_t>(end - begin) * kHashHexLen);
+  for (const auto* it = begin; it != end; ++it) joined += *it;
+  return content_hash(util::BytesView{
+      reinterpret_cast<const std::uint8_t*>(joined.data()), joined.size()});
+}
+
+SegmentSet::SegmentSet(std::vector<std::string> hashes)
+    : hashes_(std::move(hashes)) {
+  for (const auto& h : hashes_) {
+    if (h.size() != kHashHexLen || !is_hex_lower(h)) {
+      throw std::invalid_argument("merkle: bad segment hash '" + h + "'");
+    }
+  }
+  std::sort(hashes_.begin(), hashes_.end());
+  hashes_.erase(std::unique(hashes_.begin(), hashes_.end()), hashes_.end());
+}
+
+bool SegmentSet::contains(std::string_view hash) const {
+  return std::binary_search(hashes_.begin(), hashes_.end(), hash);
+}
+
+std::pair<const std::string*, const std::string*> SegmentSet::range(
+    std::string_view prefix) const {
+  if (prefix.size() > kHashHexLen || !is_hex_lower(prefix)) {
+    return {hashes_.data(), hashes_.data()};
+  }
+  // Every member under `prefix` compares >= prefix and < prefix+"g"
+  // ('g' is above the hex alphabet), so two lower_bounds delimit the range.
+  const auto lo = std::lower_bound(hashes_.begin(), hashes_.end(), prefix);
+  const std::string above = std::string(prefix) + 'g';
+  const auto hi = std::lower_bound(lo, hashes_.end(), above);
+  return {hashes_.data() + (lo - hashes_.begin()),
+          hashes_.data() + (hi - hashes_.begin())};
+}
+
+std::vector<std::string> SegmentSet::under(std::string_view prefix) const {
+  const auto [lo, hi] = range(prefix);
+  return {lo, hi};
+}
+
+TreeNodeSummary SegmentSet::summarize(std::string_view prefix) const {
+  TreeNodeSummary node;
+  const auto [lo, hi] = range(prefix);
+  node.count = static_cast<std::uint64_t>(hi - lo);
+  node.hash = set_hash(lo, hi);
+  if (prefix.size() >= kHashHexLen) return node;  // leaf level: no children
+  const auto* it = lo;
+  for (std::size_t d = 0; d < kHexDigits.size(); ++d) {
+    // Members are sorted, so each digit's bucket is a contiguous run.
+    const auto* start = it;
+    while (it != hi && (*it)[prefix.size()] == kHexDigits[d]) ++it;
+    if (it == start) continue;
+    TreeChildSummary child;
+    child.digit = static_cast<std::uint8_t>(d);
+    child.count = static_cast<std::uint64_t>(it - start);
+    child.hash = set_hash(start, it);
+    node.children.push_back(std::move(child));
+  }
+  return node;
+}
+
+}  // namespace malnet::store

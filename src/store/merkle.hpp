@@ -1,0 +1,83 @@
+// Hash-tree summary over a store's segment-hash set (DESIGN.md §14).
+//
+// Replication (malnet::sync) needs to compute the set difference between
+// two stores' segment sets without shipping either set wholesale. The
+// monotone/netsync idea: summarize the sorted set of content hashes as a
+// 16-way radix tree keyed by successive hex characters, where every node
+// carries a hash of its member set. Two stores compare node hashes top-down
+// and only descend into subtrees that differ, so the number of exchanged
+// summaries is proportional to the size of the difference, not the size of
+// the stores.
+//
+// The node hash is content_hash() over the concatenation of the node's
+// member hashes in sorted order. Because members are unique and sorted,
+// node-hash equality is set equality (up to hash collisions, the same
+// assumption the store itself already makes), and the summary is a pure
+// function of the set — independent of commit order, seq numbers or
+// manifest history.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace malnet::store {
+
+/// Length of a full segment content hash in hex characters.
+inline constexpr std::size_t kHashHexLen = 64;
+
+/// One child of a tree node: the next hex character under the node's
+/// prefix, and the summary of the members below it.
+struct TreeChildSummary {
+  std::uint8_t digit = 0;  // 0..15, the hex character value
+  std::uint64_t count = 0;
+  std::string hash;  // set hash of the members under prefix+digit
+
+  friend bool operator==(const TreeChildSummary&, const TreeChildSummary&) = default;
+};
+
+/// Summary of the subtree at some prefix: member count, set hash, and one
+/// entry per non-empty child. Children of an empty subtree are empty.
+struct TreeNodeSummary {
+  std::uint64_t count = 0;
+  std::string hash;
+  std::vector<TreeChildSummary> children;
+
+  friend bool operator==(const TreeNodeSummary&, const TreeNodeSummary&) = default;
+};
+
+/// True iff `s` is entirely lowercase hex (the alphabet content hashes use).
+[[nodiscard]] bool is_hex_lower(std::string_view s);
+
+/// Set hash of a sorted, unique range of member hashes: content_hash over
+/// their concatenation. The empty set has a well-defined constant hash.
+[[nodiscard]] std::string set_hash(const std::string* begin, const std::string* end);
+
+/// An immutable snapshot of a store's segment-hash set with prefix-range
+/// queries and tree summaries. Hashes are validated (kHashHexLen lowercase
+/// hex), sorted and deduplicated on construction.
+class SegmentSet {
+ public:
+  explicit SegmentSet(std::vector<std::string> hashes);
+
+  [[nodiscard]] const std::vector<std::string>& hashes() const { return hashes_; }
+  [[nodiscard]] std::uint64_t size() const { return hashes_.size(); }
+  [[nodiscard]] bool contains(std::string_view hash) const;
+
+  /// Members whose hash starts with `prefix` (sorted). An over-long or
+  /// non-hex prefix yields an empty list.
+  [[nodiscard]] std::vector<std::string> under(std::string_view prefix) const;
+
+  /// Tree summary of the subtree at `prefix` (prefix "" = the root).
+  [[nodiscard]] TreeNodeSummary summarize(std::string_view prefix) const;
+
+ private:
+  /// Iterator range of members under `prefix`.
+  [[nodiscard]] std::pair<const std::string*, const std::string*> range(
+      std::string_view prefix) const;
+
+  std::vector<std::string> hashes_;  // sorted, unique
+};
+
+}  // namespace malnet::store

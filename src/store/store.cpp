@@ -1,5 +1,10 @@
 #include "store/store.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <bit>
 #include <filesystem>
 #include <fstream>
@@ -36,6 +41,41 @@ std::string hex64(std::uint64_t v) {
 
 std::uint64_t parse_hex64(const std::string& s) {
   return std::stoull(s, nullptr, 16);
+}
+
+/// Cross-process writer/GC exclusion on DIR/LOCK. Writers (commit, import,
+/// compact) hold the lock shared over their segment-write → manifest-write
+/// window; collect_garbage() takes it exclusive and non-blocking, so it
+/// never collects a file another process is mid-way through publishing.
+/// Each guard opens its own descriptor: flock() converts rather than stacks
+/// on a shared open file description, which would let one guard silently
+/// drop another's hold.
+class DirLock {
+ public:
+  DirLock(const std::string& path, int operation) {
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) return;
+    if (::flock(fd_, operation) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~DirLock() {
+    if (fd_ >= 0) ::close(fd_);  // closing the descriptor releases the lock
+  }
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+
+  [[nodiscard]] bool held() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// d_pc2 carries data only when some shard actually ran a probe campaign.
+bool campaign_empty(const core::ProbeCampaignResult& pc) {
+  return pc.rounds == 0 && pc.raster.empty() && pc.scout_probes == 0 &&
+         pc.weapon_runs == 0 && pc.banner_filtered == 0;
 }
 
 }  // namespace
@@ -99,6 +139,17 @@ void Store::write_manifest_locked() {
 
 void Store::collect_garbage() {
   std::lock_guard lock(mu_);
+  // An unreferenced segment file is indistinguishable from one a concurrent
+  // writer has renamed into place but not yet published in MANIFEST, so GC
+  // may only run while no writer holds the directory lock. Skipping is safe:
+  // real crash litter has no lock holder and the next open collects it.
+  DirLock gc_lock(lock_path(), LOCK_EX | LOCK_NB);
+  if (!gc_lock.held()) {
+    registry_.counter("store.gc_skipped").inc();
+    util::log_line(util::LogLevel::kInfo, "store",
+                   "gc skipped in " + dir_ + " (writers active)");
+    return;
+  }
   std::uint64_t removed = 0;
   std::error_code ec;
   // Stale manifest temps in the root; stale segment temps and unreferenced
@@ -166,7 +217,8 @@ SegmentMeta Store::commit(const core::StudyResults& results, SegmentKind kind,
 
   // Durability order: segment bytes first, manifest second. Each step is
   // individually atomic; a crash in the gap leaves an orphan the next open
-  // collects.
+  // collects. The shared lock keeps a concurrent opener's GC out of that gap.
+  DirLock write_lock(lock_path(), LOCK_SH);
   util::write_file_atomic(segment_path(file), util::BytesView{bytes});
   SegmentMeta meta;
   meta.seq = next_seq_++;
@@ -273,6 +325,93 @@ SegmentIndex Store::load_index(const SegmentMeta& meta) {
   return index;
 }
 
+std::vector<std::string> Store::segment_hashes() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> hashes;
+  hashes.reserve(segments_.size());
+  for (const auto& m : segments_) hashes.push_back(m.hash);
+  std::sort(hashes.begin(), hashes.end());
+  return hashes;
+}
+
+std::optional<util::Bytes> Store::read_segment_bytes(const std::string& hash) {
+  std::optional<SegmentMeta> meta;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& m : segments_) {
+      if (m.hash == hash) {
+        meta = m;
+        break;
+      }
+    }
+  }
+  if (!meta) return std::nullopt;
+  auto bytes = read_whole_file(segment_path(meta->file));
+  if (content_hash(util::BytesView{bytes}) != meta->hash) {
+    registry_.counter("store.verify_failures").inc();
+    throw std::runtime_error("store: content hash mismatch for " + meta->file);
+  }
+  registry_.counter("store.segment_bytes_read").inc(bytes.size());
+  return bytes;
+}
+
+ImportResult Store::import_segment(util::BytesView bytes) {
+  // Full validation up front: nothing reaches the write path unless it is a
+  // complete, parsable segment. The content hash is computed over exactly
+  // the bytes written, so a verified import is indistinguishable from a
+  // local commit of the same content.
+  const auto header = decode_segment_header(bytes);
+  if (!header) {
+    throw std::invalid_argument("store: import: bad segment header");
+  }
+  const std::size_t payload_off = kSegmentHeaderSize + header->index_len;
+  if (payload_off + header->payload_len != bytes.size()) {
+    throw std::invalid_argument("store: import: inconsistent segment lengths");
+  }
+  try {
+    util::ByteReader r(bytes.subspan(kSegmentHeaderSize, header->index_len));
+    (void)decode_index(r);
+    if (!r.done()) {
+      throw std::invalid_argument("store: import: trailing index bytes");
+    }
+  } catch (const util::TruncatedInput&) {
+    throw std::invalid_argument("store: import: truncated index");
+  }
+  if (!report::parse_datasets(bytes.subspan(payload_off, header->payload_len))) {
+    throw std::invalid_argument("store: import: unparsable payload");
+  }
+  const auto hash = content_hash(bytes);
+  const std::string file = hash.substr(0, 16) + ".seg";
+
+  std::lock_guard lock(mu_);
+  for (const auto& m : segments_) {
+    if (m.hash == hash) return {m, false};
+  }
+  // Unlike commit(), an import never displaces an existing shard slot:
+  // replication is a grow-only set union, so replica contents cannot depend
+  // on the order segments arrive in.
+  DirLock write_lock(lock_path(), LOCK_SH);
+  util::write_file_atomic(segment_path(file), bytes);
+  SegmentMeta meta;
+  meta.seq = next_seq_++;
+  meta.kind = header->kind;
+  meta.fingerprint = header->fingerprint;
+  meta.shard_index = header->shard_index;
+  meta.shard_count = header->shard_count;
+  meta.seed = header->seed;
+  meta.bytes = bytes.size();
+  meta.hash = hash;
+  meta.file = file;
+  segments_.push_back(meta);
+  write_manifest_locked();
+  registry_.counter("store.segments_imported").inc();
+  registry_.counter("store.bytes_imported").inc(bytes.size());
+  util::log_line(util::LogLevel::kInfo, "store",
+                 "imported " + to_string(meta.kind) + " segment " + file +
+                     " (" + std::to_string(bytes.size()) + " bytes)");
+  return {meta, true};
+}
+
 SegmentMeta Store::compact() {
   std::lock_guard lock(mu_);
   if (segments_.empty()) {
@@ -280,16 +419,30 @@ SegmentMeta Store::compact() {
   }
   if (segments_.size() == 1) return segments_.front();
 
-  // Merge in commit (seq) order — never completion or directory order — so
-  // compaction of the same segment set always produces the same bytes.
+  // Merge in content-hash order — a pure function of the segment *set*,
+  // never of seq, completion or directory order — so replicas that converged
+  // on the same set through any interleaving of commits and imports compact
+  // to byte-identical artifacts (§14). merge_study_results keeps part 0's
+  // probe campaign (only one shard runs it), so pick the campaign from the
+  // first hash-ordered part that actually has one — also set-determined.
+  std::vector<SegmentMeta> ordered = segments_;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SegmentMeta& a, const SegmentMeta& b) {
+              return a.hash < b.hash;
+            });
   std::vector<core::StudyResults> parts;
   std::uint64_t merged_bytes = 0;
-  parts.reserve(segments_.size());
-  for (const auto& m : segments_) {
+  parts.reserve(ordered.size());
+  std::optional<core::ProbeCampaignResult> campaign;
+  for (const auto& m : ordered) {
     parts.push_back(load_payload(m));
     merged_bytes += m.bytes;
+    if (!campaign && !campaign_empty(parts.back().d_pc2)) {
+      campaign = parts.back().d_pc2;
+    }
   }
-  const auto merged = core::merge_study_results(std::move(parts));
+  auto merged = core::merge_study_results(std::move(parts));
+  if (campaign) merged.d_pc2 = std::move(*campaign);
 
   SegmentHeader header;
   header.kind = SegmentKind::kCompacted;
@@ -300,14 +453,18 @@ SegmentMeta Store::compact() {
   const std::string file = hash.substr(0, 16) + ".seg";
 
   const std::vector<SegmentMeta> old = std::move(segments_);
+  DirLock write_lock(lock_path(), LOCK_SH);
   util::write_file_atomic(segment_path(file), util::BytesView{bytes});
   SegmentMeta meta;
-  meta.seq = next_seq_++;
+  // Seq restarts at 1: after compaction the manifest, like the segment, is
+  // a function of the merged set alone, so converged replicas byte-compare.
+  meta.seq = 1;
   meta.kind = SegmentKind::kCompacted;
   meta.bytes = bytes.size();
   meta.hash = hash;
   meta.file = file;
   segments_ = {meta};
+  next_seq_ = 2;
   write_manifest_locked();
   for (const auto& m : old) {
     if (m.file != file) {

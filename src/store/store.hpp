@@ -49,11 +49,27 @@ struct SegmentMeta {
   std::string file;
 };
 
+/// Result of Store::import_segment: the manifest entry plus whether the
+/// segment was new (false = the store already had these exact bytes).
+struct ImportResult {
+  SegmentMeta meta;
+  bool imported = false;
+};
+
 /// The store handle. All mutating operations are serialized on an internal
 /// mutex, so ParallelStudy workers can commit shards concurrently.
 ///
+/// Cross-process writer/GC discipline (DESIGN.md §14): every commit/import
+/// holds a shared flock on DIR/LOCK for its segment-write → manifest-write
+/// window, and collect_garbage() only runs when it can take the lock
+/// exclusively. A concurrent opener therefore never collects a segment (or
+/// its staging temp) that a live writer is mid-way through publishing —
+/// after a crash nobody holds the lock, so the next open still collects.
+///
 /// Metrics (registry()): store.segments_written, store.bytes_written,
-/// store.resume_hits / resume_misses / verify_failures, store.orphans_removed,
+/// store.segments_imported / bytes_imported, store.segment_bytes_read,
+/// store.resume_hits / resume_misses / verify_failures,
+/// store.orphans_removed, store.gc_skipped,
 /// store.segments_compacted / bytes_compacted, store.segments_opened,
 /// store.index_bytes_read / payload_bytes_read, store.queries and the
 /// store.query_latency_us histogram (the one wall-clock quantity — query
@@ -96,9 +112,31 @@ class Store {
   /// malformed header.
   [[nodiscard]] SegmentIndex load_index(const SegmentMeta& meta);
 
-  /// Deterministically merges every segment (seq order, via
-  /// core::merge_study_results) into a single kCompacted segment, replaces
-  /// the manifest and removes the old files. Query answers are unchanged.
+  /// Full 64-hex content hashes of every committed segment, sorted — the
+  /// replication view of the store as a content-addressed set (§14).
+  [[nodiscard]] std::vector<std::string> segment_hashes() const;
+
+  /// Raw bytes of the segment with this content hash, verified against it.
+  /// Nullopt when the hash is not in the manifest; throws on corruption
+  /// (manifest references bytes that no longer verify).
+  [[nodiscard]] std::optional<util::Bytes> read_segment_bytes(
+      const std::string& hash);
+
+  /// Replication import: validates `bytes` as a complete segment (header,
+  /// length consistency, index decode, payload parse, content hash) and
+  /// journals it under the standard commit protocol. Grow-only by design —
+  /// an import never replaces an existing entry, not even a same-slot
+  /// shard, so replica state is a monotone set union and sync convergence
+  /// cannot depend on arrival order. Idempotent: re-importing bytes the
+  /// store already has reports imported=false. Throws on invalid bytes.
+  ImportResult import_segment(util::BytesView bytes);
+
+  /// Deterministically merges every segment into a single kCompacted
+  /// segment, replaces the manifest and removes the old files. Parts merge
+  /// in content-hash order — a pure function of the segment *set* — and the
+  /// compacted entry always gets seq 1, so replicas that hold the same set
+  /// compact to byte-identical manifests and segment files regardless of
+  /// the order syncs arrived in (§14). Query answers are unchanged.
   /// Throws if the store is empty; a single-segment store is a no-op.
   SegmentMeta compact();
 
@@ -113,6 +151,7 @@ class Store {
   /// not reference (crash litter between the two commit renames).
   void collect_garbage();
   [[nodiscard]] std::string manifest_path() const { return dir_ + "/MANIFEST"; }
+  [[nodiscard]] std::string lock_path() const { return dir_ + "/LOCK"; }
   [[nodiscard]] std::string segment_path(const std::string& file) const {
     return dir_ + "/segments/" + file;
   }

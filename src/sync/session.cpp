@@ -1,0 +1,112 @@
+#include "sync/session.hpp"
+
+#include <exception>
+#include <string>
+
+#include "store/segment.hpp"
+#include "util/log.hpp"
+
+namespace malnet::sync {
+
+namespace {
+
+util::Bytes ok(std::uint64_t id, SyncOp op, util::Bytes payload) {
+  return encode_sync_response({id, SyncStatus::kOk, op, std::move(payload)});
+}
+
+util::Bytes error(std::uint64_t id, SyncOp op, std::string_view text) {
+  return encode_sync_response(
+      {id, SyncStatus::kError, op, util::to_bytes(text)});
+}
+
+/// The request payload for TREE/LIST: one lp16 hex prefix, nothing else.
+std::optional<std::string> decode_prefix(util::BytesView payload) {
+  try {
+    util::ByteReader r(payload);
+    auto prefix = util::to_string(util::BytesView{r.lp16()});
+    if (!r.done()) return std::nullopt;
+    if (prefix.size() > store::kHashHexLen || !store::is_hex_lower(prefix)) {
+      return std::nullopt;
+    }
+    return prefix;
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::string> decode_hash(util::BytesView payload) {
+  auto prefix = decode_prefix(payload);
+  if (!prefix || prefix->size() != store::kHashHexLen) return std::nullopt;
+  return prefix;
+}
+
+}  // namespace
+
+SessionHandler::SessionHandler(store::Store& store, obs::Registry& registry)
+    : store_(store),
+      requests_(&registry.counter("sync.requests")),
+      segments_served_(&registry.counter("sync.segments_served")),
+      segments_imported_(&registry.counter("sync.segments_imported")),
+      puts_rejected_(&registry.counter("sync.puts_rejected")) {}
+
+std::optional<util::Bytes> SessionHandler::handle(util::BytesView body) {
+  const auto req = decode_sync_request(body);
+  if (!req) return std::nullopt;
+  requests_->inc();
+  switch (req->op) {
+    case SyncOp::kHello: {
+      if (!req->payload.empty()) {
+        return error(req->id, req->op, "err hello takes no payload");
+      }
+      const store::SegmentSet set(store_.segment_hashes());
+      return ok(req->id, req->op, encode_node_summary(set.summarize("")));
+    }
+    case SyncOp::kTree: {
+      const auto prefix = decode_prefix(util::BytesView{req->payload});
+      if (!prefix) return error(req->id, req->op, "err bad tree prefix");
+      const store::SegmentSet set(store_.segment_hashes());
+      return ok(req->id, req->op, encode_node_summary(set.summarize(*prefix)));
+    }
+    case SyncOp::kList: {
+      const auto prefix = decode_prefix(util::BytesView{req->payload});
+      if (!prefix) return error(req->id, req->op, "err bad list prefix");
+      const store::SegmentSet set(store_.segment_hashes());
+      auto members = set.under(*prefix);
+      auto payload = encode_hash_list(members);
+      if (payload.size() > kMaxSyncFrameBody - kSyncResponseHeaderSize) {
+        // The client's move is tree refinement, not a bigger list.
+        return error(req->id, req->op, "err list too large; refine");
+      }
+      return ok(req->id, req->op, std::move(payload));
+    }
+    case SyncOp::kGet: {
+      const auto hash = decode_hash(util::BytesView{req->payload});
+      if (!hash) return error(req->id, req->op, "err bad segment hash");
+      try {
+        auto bytes = store_.read_segment_bytes(*hash);
+        if (!bytes) return error(req->id, req->op, "err unknown segment");
+        segments_served_->inc();
+        return ok(req->id, req->op, std::move(*bytes));
+      } catch (const std::exception& e) {
+        return error(req->id, req->op, std::string("err ") + e.what());
+      }
+    }
+    case SyncOp::kPut: {
+      try {
+        const auto result = store_.import_segment(util::BytesView{req->payload});
+        if (result.imported) segments_imported_->inc();
+        util::ByteWriter w;
+        w.u8(result.imported ? 1 : 0);
+        return ok(req->id, req->op, w.take());
+      } catch (const std::exception& e) {
+        puts_rejected_->inc();
+        util::log_line(util::LogLevel::kWarn, "sync",
+                       std::string("rejected put: ") + e.what());
+        return error(req->id, req->op, std::string("err ") + e.what());
+      }
+    }
+  }
+  return std::nullopt;  // unreachable: decode_sync_request validates op
+}
+
+}  // namespace malnet::sync

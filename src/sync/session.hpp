@@ -1,0 +1,45 @@
+// malnet::sync server side — answers MSY1 requests against a local store.
+//
+// Plugged into serve::Server through ServeConfig::aux_handler: the query
+// server keeps owning the transport (threads, backpressure, timeouts) and
+// hands over only the frame bodies its own codec rejects. handle() is
+// called concurrently from the server's I/O threads; it is thread-safe
+// because every store operation locks internally and counters are atomic.
+//
+// Safety contract (the fuzz target): no input ever crashes or wedges the
+// handler, and nothing reaches the store's manifest unless it validates as
+// a complete segment — Store::import_segment re-derives the content hash
+// from the exact bytes received, so a corrupted PUT is rejected, never
+// journaled. An undecodable body returns nullopt and the server drops the
+// connection; a decodable-but-wrong request gets a status-1 response and
+// the connection lives on.
+#pragma once
+
+#include <optional>
+
+#include "obs/metrics.hpp"
+#include "store/store.hpp"
+#include "sync/wire.hpp"
+
+namespace malnet::sync {
+
+/// Metrics (all `sync.`-prefixed, on the registry passed in):
+/// requests, segments_served, segments_imported, puts_rejected.
+class SessionHandler {
+ public:
+  SessionHandler(store::Store& store, obs::Registry& registry);
+
+  /// Answers one MSY1 frame body with a complete MSP1 response frame
+  /// (length prefix included). Nullopt = not a decodable sync request;
+  /// the caller should treat the connection as broken.
+  [[nodiscard]] std::optional<util::Bytes> handle(util::BytesView body);
+
+ private:
+  store::Store& store_;
+  obs::Counter* requests_;
+  obs::Counter* segments_served_;
+  obs::Counter* segments_imported_;
+  obs::Counter* puts_rejected_;
+};
+
+}  // namespace malnet::sync

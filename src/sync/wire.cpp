@@ -1,0 +1,159 @@
+#include "sync/wire.hpp"
+
+namespace malnet::sync {
+
+namespace {
+
+util::Bytes frame(const util::ByteWriter& body) {
+  util::ByteWriter out;
+  out.u32(static_cast<std::uint32_t>(body.size()));
+  out.raw(body.bytes());
+  return out.take();
+}
+
+bool valid_op(std::uint8_t op) {
+  return op <= static_cast<std::uint8_t>(SyncOp::kPut);
+}
+
+bool valid_set_hash(const std::string& h) {
+  return h.size() == store::kHashHexLen && store::is_hex_lower(h);
+}
+
+}  // namespace
+
+util::Bytes encode_sync_request(const SyncRequest& req) {
+  util::ByteWriter body;
+  body.u32(kSyncRequestMagic);
+  body.u64(req.id);
+  body.u8(static_cast<std::uint8_t>(req.op));
+  body.raw(req.payload);
+  return frame(body);
+}
+
+util::Bytes encode_sync_response(const SyncResponse& resp) {
+  util::ByteWriter body;
+  body.u32(kSyncResponseMagic);
+  body.u64(resp.id);
+  body.u8(static_cast<std::uint8_t>(resp.status));
+  body.u8(static_cast<std::uint8_t>(resp.op));
+  body.raw(resp.payload);
+  return frame(body);
+}
+
+std::optional<SyncRequest> decode_sync_request(util::BytesView body) {
+  if (body.size() < kSyncRequestHeaderSize || body.size() > kMaxSyncFrameBody) {
+    return std::nullopt;
+  }
+  util::ByteReader r(body);
+  if (r.u32() != kSyncRequestMagic) return std::nullopt;
+  SyncRequest req;
+  req.id = r.u64();
+  const auto op = r.u8();
+  if (!valid_op(op)) return std::nullopt;
+  req.op = static_cast<SyncOp>(op);
+  req.payload = r.raw(r.remaining());
+  return req;
+}
+
+std::optional<SyncResponse> decode_sync_response(util::BytesView body) {
+  if (body.size() < kSyncResponseHeaderSize || body.size() > kMaxSyncFrameBody) {
+    return std::nullopt;
+  }
+  util::ByteReader r(body);
+  if (r.u32() != kSyncResponseMagic) return std::nullopt;
+  SyncResponse resp;
+  resp.id = r.u64();
+  const auto status = r.u8();
+  if (status > static_cast<std::uint8_t>(SyncStatus::kError)) {
+    return std::nullopt;
+  }
+  resp.status = static_cast<SyncStatus>(status);
+  const auto op = r.u8();
+  if (!valid_op(op)) return std::nullopt;
+  resp.op = static_cast<SyncOp>(op);
+  resp.payload = r.raw(r.remaining());
+  return resp;
+}
+
+util::Bytes encode_node_summary(const store::TreeNodeSummary& node) {
+  util::ByteWriter w;
+  w.u64(node.count);
+  w.lp16(node.hash);
+  w.u8(static_cast<std::uint8_t>(node.children.size()));
+  for (const auto& c : node.children) {
+    w.u8(c.digit);
+    w.u64(c.count);
+    w.lp16(c.hash);
+  }
+  return w.take();
+}
+
+std::optional<store::TreeNodeSummary> decode_node_summary(
+    util::BytesView payload) {
+  try {
+    util::ByteReader r(payload);
+    store::TreeNodeSummary node;
+    node.count = r.u64();
+    node.hash = util::to_string(util::BytesView{r.lp16()});
+    if (!valid_set_hash(node.hash)) return std::nullopt;
+    const auto n = r.u8();
+    if (n > 16) return std::nullopt;
+    std::uint64_t child_total = 0;
+    int last_digit = -1;
+    for (std::uint8_t i = 0; i < n; ++i) {
+      store::TreeChildSummary child;
+      child.digit = r.u8();
+      if (child.digit > 15 || static_cast<int>(child.digit) <= last_digit) {
+        return std::nullopt;
+      }
+      last_digit = child.digit;
+      child.count = r.u64();
+      child.hash = util::to_string(util::BytesView{r.lp16()});
+      if (child.count == 0 || !valid_set_hash(child.hash)) return std::nullopt;
+      child_total += child.count;
+      node.children.push_back(std::move(child));
+    }
+    if (!r.done()) return std::nullopt;
+    // Children partition the node's members, so their counts must add up
+    // (a childless summary is a leaf or an empty node; nothing to check).
+    if (n > 0 && child_total != node.count) return std::nullopt;
+    return node;
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes encode_hash_list(const std::vector<std::string>& hashes) {
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(hashes.size()));
+  for (const auto& h : hashes) w.lp16(h);
+  return w.take();
+}
+
+std::optional<std::vector<std::string>> decode_hash_list(
+    util::BytesView payload) {
+  try {
+    util::ByteReader r(payload);
+    const auto n = r.u32();
+    // Each entry costs at least 2 + 64 bytes on the wire; an n that cannot
+    // fit in the remaining payload is malformed, not a huge allocation.
+    if (static_cast<std::uint64_t>(n) * (2 + store::kHashHexLen) >
+        r.remaining()) {
+      return std::nullopt;
+    }
+    std::vector<std::string> hashes;
+    hashes.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto h = util::to_string(util::BytesView{r.lp16()});
+      if (!valid_set_hash(h)) return std::nullopt;
+      if (!hashes.empty() && !(hashes.back() < h)) return std::nullopt;
+      hashes.push_back(std::move(h));
+    }
+    if (!r.done()) return std::nullopt;
+    return hashes;
+  } catch (const util::TruncatedInput&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace malnet::sync

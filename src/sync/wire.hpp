@@ -1,0 +1,99 @@
+// malnet::sync wire protocol (DESIGN.md §14).
+//
+// The MSY1 frame family rides the same u32-length-prefixed transport as the
+// serve layer's MQR1 queries — a server started with sync enabled speaks
+// both on one port, routing by body magic. Five operations implement
+// hash-tree set reconciliation plus segment transfer:
+//
+//   frame    := u32 body_len (big-endian) || body       body_len <= 64 MiB
+//   request  := u32 magic "MSY1" || u64 id || u8 op || op payload
+//   response := u32 magic "MSP1" || u64 id || u8 status || u8 op || payload
+//
+//   op 0 HELLO  payload: empty            -> node summary of the root
+//   op 1 TREE   payload: lp16 hex prefix  -> node summary at that prefix
+//   op 2 LIST   payload: lp16 hex prefix  -> sorted member hashes under it
+//   op 3 GET    payload: lp16 full hash   -> raw segment bytes
+//   op 4 PUT    payload: segment bytes    -> u8 imported (0 = already had)
+//
+// status 0 = ok; status 1 = error (payload is text; the connection stays
+// usable — a rejected PUT must not kill the rest of the sync). As with the
+// query protocol, nothing malformed ever escapes the codec as an exception:
+// decoders return nullopt and the caller drops the connection.
+//
+// The node summary / hash list payload encodings are shared by both sides:
+//   summary := u64 count || lp16 set_hash ||
+//              u8 n_children || n * (u8 digit || u64 count || lp16 set_hash)
+//   list    := u32 n || n * lp16 hash     (sorted, unique, 64-hex each)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/merkle.hpp"
+#include "util/bytes.hpp"
+
+namespace malnet::sync {
+
+inline constexpr std::uint32_t kSyncRequestMagic = 0x4D535931;   // "MSY1"
+inline constexpr std::uint32_t kSyncResponseMagic = 0x4D535031;  // "MSP1"
+/// Upper bound on a sync frame body — must fit a whole segment (PUT/GET).
+inline constexpr std::size_t kMaxSyncFrameBody = 64u << 20;
+/// Fixed part of a request body (magic + id + op).
+inline constexpr std::size_t kSyncRequestHeaderSize = 4 + 8 + 1;
+/// Fixed part of a response body (magic + id + status + op).
+inline constexpr std::size_t kSyncResponseHeaderSize = 4 + 8 + 1 + 1;
+
+enum class SyncOp : std::uint8_t {
+  kHello = 0,
+  kTree = 1,
+  kList = 2,
+  kGet = 3,
+  kPut = 4,
+};
+
+enum class SyncStatus : std::uint8_t { kOk = 0, kError = 1 };
+
+struct SyncRequest {
+  std::uint64_t id = 0;
+  SyncOp op = SyncOp::kHello;
+  util::Bytes payload;  // op-specific, encoded per the schemes above
+
+  friend bool operator==(const SyncRequest&, const SyncRequest&) = default;
+};
+
+struct SyncResponse {
+  std::uint64_t id = 0;
+  SyncStatus status = SyncStatus::kOk;
+  SyncOp op = SyncOp::kHello;
+  util::Bytes payload;
+
+  friend bool operator==(const SyncResponse&, const SyncResponse&) = default;
+};
+
+/// Full frame (length prefix included), ready to write to a socket.
+[[nodiscard]] util::Bytes encode_sync_request(const SyncRequest& req);
+[[nodiscard]] util::Bytes encode_sync_response(const SyncResponse& resp);
+
+/// Decode a frame *body* (length prefix already stripped by FrameReader).
+/// Nullopt on bad magic, unknown op/status, or a short body; never throws.
+[[nodiscard]] std::optional<SyncRequest> decode_sync_request(
+    util::BytesView body);
+[[nodiscard]] std::optional<SyncResponse> decode_sync_response(
+    util::BytesView body);
+
+/// Node-summary payload codec. Decode validates: 64-hex set hashes, child
+/// digits strictly increasing and < 16, child counts summing to the node
+/// count, and no trailing bytes. Nullopt on any violation.
+[[nodiscard]] util::Bytes encode_node_summary(const store::TreeNodeSummary& node);
+[[nodiscard]] std::optional<store::TreeNodeSummary> decode_node_summary(
+    util::BytesView payload);
+
+/// Hash-list payload codec. Decode validates: 64-hex lowercase entries in
+/// strictly increasing order, no trailing bytes. Nullopt on any violation.
+[[nodiscard]] util::Bytes encode_hash_list(const std::vector<std::string>& hashes);
+[[nodiscard]] std::optional<std::vector<std::string>> decode_hash_list(
+    util::BytesView payload);
+
+}  // namespace malnet::sync

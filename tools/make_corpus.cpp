@@ -12,6 +12,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "core/pipeline.hpp"
 #include "dns/message.hpp"
 #include "net/packet.hpp"
 #include "net/pcap.hpp"
@@ -20,6 +21,9 @@
 #include "proto/irc.hpp"
 #include "proto/mirai.hpp"
 #include "proto/p2p.hpp"
+#include "report/dataset_io.hpp"
+#include "store/segment.hpp"
+#include "sync/wire.hpp"
 
 using namespace malnet;
 using namespace malnet::proto;
@@ -130,6 +134,35 @@ int main(int argc, char** argv) {
   pcap.add(sample_packet(net::Protocol::kUdp));
   pcap.add(sample_packet(net::Protocol::kIcmp));
   write_file(dir / "mini.pcap", pcap.bytes());
+
+  // --- Sync replication frames (MSY1, full frames incl. length prefix) ---
+  // The PUT carries a real minimal segment so the fuzzer starts from a
+  // frame that actually reaches the import path.
+  core::StudyResults empty_results;
+  store::SegmentHeader seg_header;
+  seg_header.kind = store::SegmentKind::kIngest;
+  seg_header.seed = 22;
+  const auto seg_payload = report::serialize_datasets(empty_results);
+  const auto seg_bytes =
+      store::encode_segment(seg_header, store::build_index(empty_results),
+                            util::BytesView{seg_payload});
+  const auto seg_hash = store::content_hash(util::BytesView{seg_bytes});
+  util::ByteWriter tree_req;
+  tree_req.lp16(std::string_view("a"));
+  util::ByteWriter list_req;
+  list_req.lp16(std::string_view(""));
+  util::ByteWriter get_req;
+  get_req.lp16(seg_hash);
+  write_file(dir / "sync_hello.bin",
+             sync::encode_sync_request({1, sync::SyncOp::kHello, {}}));
+  write_file(dir / "sync_tree.bin",
+             sync::encode_sync_request({2, sync::SyncOp::kTree, tree_req.take()}));
+  write_file(dir / "sync_list.bin",
+             sync::encode_sync_request({3, sync::SyncOp::kList, list_req.take()}));
+  write_file(dir / "sync_get.bin",
+             sync::encode_sync_request({4, sync::SyncOp::kGet, get_req.take()}));
+  write_file(dir / "sync_put.bin",
+             sync::encode_sync_request({5, sync::SyncOp::kPut, seg_bytes}));
 
   std::cout << "corpus written to " << dir.string() << "\n";
   return 0;

@@ -8,7 +8,8 @@
 //   malnetctl ingest  --store <dir> (<file.mds> ... | study options)
 //   malnetctl compact --store <dir>
 //   malnetctl query   (--store <dir> | --connect <host:port>) [<query> ...]
-//   malnetctl serve   --store <dir> [--listen [host:]port]
+//   malnetctl serve   --store <dir> [--listen [host:]port] [--allow-sync]
+//   malnetctl sync    (push|pull) --store <dir> --connect <host:port>
 //   malnetctl export-rules [--samples N] [--seed N] --out <file.rules>
 //
 // `forge` produces the same inert MBF artifacts the test corpus uses;
@@ -43,6 +44,8 @@
 #include "serve/server.hpp"
 #include "store/query.hpp"
 #include "store/store.hpp"
+#include "sync/client.hpp"
+#include "sync/session.hpp"
 #include "util/log.hpp"
 #include "util/socket.hpp"
 
@@ -88,10 +91,18 @@ using namespace malnet;
       "        (same queries against a running 'serve --listen' server)\n"
       "  serve --store <dir>   (answer query lines from stdin until EOF/quit)\n"
       "  serve --store <dir> --listen [host:]port [--io-threads N]\n"
-      "        [--idle-timeout-ms N] [--metrics-out <m.json>]\n"
+      "        [--idle-timeout-ms N] [--metrics-out <m.json>] [--allow-sync]\n"
       "        (concurrent TCP query server; port 0 picks an ephemeral port,\n"
       "         printed on the 'serving on' line. SIGTERM/SIGINT drains:\n"
-      "         in-flight requests are answered, then the process exits 0.)\n"
+      "         in-flight requests are answered, then the process exits 0.\n"
+      "         --allow-sync additionally accepts sync push/pull sessions on\n"
+      "         the same port — replicas replicate, queries keep answering.)\n"
+      "  sync (push|pull) --store <dir> --connect <host:port>\n"
+      "        [--metrics-out <m.json>]\n"
+      "        (replicate content-hashed segments against a sync-enabled\n"
+      "         server: push sends segments the server lacks, pull fetches\n"
+      "         segments the local store lacks. Hash-tree refinement means a\n"
+      "         re-sync of identical stores transfers nothing.)\n"
       "  report <file.mds>   (re-render tables from a saved dataset artifact)\n"
       "  dossier <file.mds> <c2-address|sample-sha>\n"
       "  digest <file.mds> [--week N]\n"
@@ -138,7 +149,7 @@ Args parse_args(int argc, char** argv, int first) {
       if (const auto eq = key.find('='); eq != std::string::npos) {
         args.flags[key.substr(0, eq)] = key.substr(eq + 1);
       } else if (key == "no-probe" || key == "claims" || key == "profile" ||
-                 key == "resume" || key == "strict") {
+                 key == "resume" || key == "strict" || key == "allow-sync") {
         args.flags[key] = "1";
       } else if (i + 1 < argc) {
         args.flags[key] = argv[++i];
@@ -467,6 +478,17 @@ int cmd_serve(const Args& args) {
   }
 
   obs::Registry registry;
+  // With --allow-sync the same port also speaks the MSY1 replication
+  // protocol: bodies the query codec rejects are routed to the sync
+  // session handler, which imports/serves segments against this store.
+  std::optional<sync::SessionHandler> sync_handler;
+  if (args.has("allow-sync")) {
+    sync_handler.emplace(st, registry);
+    cfg.aux_handler = [&sync_handler](util::BytesView body) {
+      return sync_handler->handle(body);
+    };
+    cfg.max_aux_frame_body = sync::kMaxSyncFrameBody;
+  }
   serve::Server server(st, cfg, registry);
   server.start();
   g_serve_server = &server;
@@ -476,7 +498,9 @@ int cmd_serve(const Args& args) {
   // The "serving on" line is the readiness signal scripts wait for (and
   // where an ephemeral --listen 0 port is reported).
   std::cout << "serving on " << cfg.host << ':' << server.port() << " ("
-            << st.segments().size() << " segment(s))" << std::endl;
+            << st.segments().size() << " segment(s)"
+            << (args.has("allow-sync") ? ", sync enabled" : "") << ")"
+            << std::endl;
   server.wait();  // blocks until SIGTERM/SIGINT, then drains
   g_serve_server = nullptr;
 
@@ -498,6 +522,55 @@ int cmd_serve(const Args& args) {
     if (!out) throw std::runtime_error("cannot write " + args.get("metrics-out"));
     out << merged.to_json() << '\n';
   }
+  return 0;
+}
+
+/// `sync push|pull --store D --connect H:P` — replicate segments between
+/// the local store and a `serve --allow-sync` server. Exit 0 on a
+/// converged sync, 1 on any failure (both manifests stay valid either way).
+int cmd_sync(const Args& args) {
+  if (args.positional.empty() || !args.has("store") || !args.has("connect")) {
+    usage();
+  }
+  const auto& direction = args.positional[0];
+  if (direction != "push" && direction != "pull") usage();
+  const auto spec = util::parse_listen_spec(args.get("connect"));
+  if (!spec) {
+    std::cerr << "bad --connect '" << args.get("connect")
+              << "' (want host:port)\n";
+    return 2;
+  }
+  store::Store st(args.get("store"));
+  obs::Registry registry;
+  sync::SyncClient client(st, &registry);
+  if (!client.connect(spec->first, spec->second)) {
+    std::cerr << "cannot connect to " << spec->first << ':' << spec->second
+              << '\n';
+    return 1;
+  }
+  const auto stats = direction == "push" ? client.push() : client.pull();
+  const auto write_metrics = [&] {
+    if (!args.has("metrics-out")) return;
+    auto merged = registry.snapshot();
+    merged.merge(st.metrics());
+    std::ofstream out(args.get("metrics-out"));
+    if (!out) throw std::runtime_error("cannot write " + args.get("metrics-out"));
+    out << merged.to_json() << '\n';
+  };
+  if (!stats) {
+    write_metrics();
+    std::cerr << "sync " << direction
+              << " failed (connection lost, protocol error, or verification "
+                 "failure); the store is unchanged or grew by verified "
+                 "segments only\n";
+    return 1;
+  }
+  std::cout << "sync " << direction << ": rounds=" << stats->rounds
+            << " sent=" << stats->segments_sent
+            << " received=" << stats->segments_received
+            << " bytes_on_wire=" << stats->bytes_on_wire
+            << " bytes_saved=" << stats->bytes_saved << '\n';
+  write_metrics();
   return 0;
 }
 
@@ -606,6 +679,7 @@ int main(int argc, char** argv) {
     if (cmd == "compact") return cmd_compact(args);
     if (cmd == "query") return cmd_query(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "sync") return cmd_sync(args);
     if (cmd == "report") return cmd_report(args);
     if (cmd == "dossier") return cmd_dossier(args);
     if (cmd == "digest") return cmd_digest(args);
