@@ -126,8 +126,9 @@ int main(int argc, char** argv) {
   sync::SessionHandler handler(aggregator, registry);
   serve::ServeConfig scfg;
   scfg.io_threads = 2;
-  scfg.aux_handler = [&handler](util::BytesView body) {
-    return handler.handle(body);
+  scfg.aux_handler = [&handler](util::BytesView body,
+                                const serve::AuxContext& ctx) {
+    return handler.handle(body, ctx.peer);
   };
   scfg.max_aux_frame_body = sync::kMaxSyncFrameBody;
   serve::Server server(aggregator, scfg, registry);

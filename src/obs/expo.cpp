@@ -1,0 +1,120 @@
+#include "obs/expo.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iterator>
+#include <sstream>
+
+namespace malnet::obs {
+
+namespace {
+
+constexpr double kQuantiles[] = {0.5, 0.99};
+constexpr const char* kQuantileLabels[] = {"0.5", "0.99"};
+
+/// Deterministic double rendering: integral values print without a
+/// fractional part, everything else as %.6g (enough for rates and
+/// interpolated quantiles, stable across platforms).
+std::string fmt_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void render_histogram_family(std::ostringstream& os, const std::string& base,
+                             const HistogramSnapshot& h) {
+  os << "# TYPE " << base << " histogram\n";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.bounds.size() && i < h.counts.size(); ++i) {
+    cumulative += h.counts[i];
+    os << base << "_bucket{le=\"" << h.bounds[i] << "\"} " << cumulative
+       << '\n';
+  }
+  os << base << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+  os << base << "_sum " << h.sum << '\n';
+  os << base << "_count " << h.count << '\n';
+}
+
+void render_quantiles(std::ostringstream& os, const std::string& base,
+                      const HistogramSnapshot& h,
+                      const std::string& window_label) {
+  for (std::size_t i = 0; i < std::size(kQuantiles); ++i) {
+    const auto est = h.quantile(kQuantiles[i]);
+    if (!est) continue;
+    os << base << "_q{q=\"" << kQuantileLabels[i] << '"';
+    if (!window_label.empty()) {
+      os << ",window=\"" << prometheus_label_value(window_label) << '"';
+    }
+    os << "} " << fmt_double(*est) << '\n';
+  }
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+std::string prometheus_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snap,
+                              const std::vector<ExpositionWindow>& windows,
+                              std::string_view prefix) {
+  std::ostringstream os;
+  const std::string pfx(prefix);
+  for (const auto& [name, v] : snap.counters) {
+    const std::string base = pfx + prometheus_name(name);
+    os << "# TYPE " << base << " counter\n" << base << ' ' << v << '\n';
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string base = pfx + prometheus_name(name);
+    os << "# TYPE " << base << " gauge\n" << base << ' ' << v << '\n';
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string base = pfx + prometheus_name(name);
+    render_histogram_family(os, base, h);
+    render_quantiles(os, base, h, "");
+  }
+  for (const auto& [label, w] : windows) {
+    if (w.seconds <= 0) continue;
+    const std::string esc = prometheus_label_value(label);
+    for (const auto& [name, v] : w.delta.counters) {
+      os << pfx << prometheus_name(name) << "_rate{window=\"" << esc << "\"} "
+         << fmt_double(static_cast<double>(v) / w.seconds) << '\n';
+    }
+    for (const auto& [name, h] : w.delta.histograms) {
+      const std::string base = pfx + prometheus_name(name);
+      os << base << "_count_rate{window=\"" << esc << "\"} "
+         << fmt_double(static_cast<double>(h.count) / w.seconds) << '\n';
+      render_quantiles(os, base, h, label);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace malnet::obs

@@ -1,0 +1,43 @@
+// malnet::obs — Prometheus text exposition.
+//
+// Renders a MetricsSnapshot (plus optional SnapshotRing windows) in the
+// Prometheus text format, version 0.0.4. Dotted malnet names map onto the
+// exposition charset ("serve.requests" → "malnet_serve_requests"); label
+// values are escaped per the spec. Output order is deterministic: the
+// snapshot maps are sorted, and windows render in the order given.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/window.hpp"
+
+namespace malnet::obs {
+
+/// Maps a dotted metric name into [a-zA-Z_:][a-zA-Z0-9_:]* — invalid
+/// characters become '_', a leading digit gains a '_' prefix.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// Escapes a label value: backslash, double quote and newline.
+[[nodiscard]] std::string prometheus_label_value(std::string_view value);
+
+/// A labelled trailing window for rate lines, e.g. {"10s", ring.window(...)}.
+using ExpositionWindow = std::pair<std::string, SnapshotRing::Window>;
+
+/// Full exposition:
+///   - counters    → `# TYPE <n> counter` + total
+///   - gauges      → `# TYPE <n> gauge` + level
+///   - histograms  → cumulative `_bucket{le=...}` (incl. +Inf), `_sum`,
+///                   `_count`, plus estimated `_q{q="0.5"|"0.99"}` lines
+///   - per window  → `_rate{window=...}` for counters and histogram counts,
+///                   and windowed `_q{q=...,window=...}` estimates
+/// All names are prefixed with `prefix` after sanitisation.
+[[nodiscard]] std::string render_prometheus(
+    const MetricsSnapshot& snap,
+    const std::vector<ExpositionWindow>& windows = {},
+    std::string_view prefix = "malnet_");
+
+}  // namespace malnet::obs

@@ -1,6 +1,7 @@
 #include "obs/json.hpp"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace malnet::obs::json {
@@ -186,6 +187,83 @@ const Value* Value::at_path(std::string_view dotted) const {
 
 std::optional<Value> parse(std::string_view text) {
   return Parser(text).run();
+}
+
+namespace {
+
+void write_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_number(std::string& out, double v) {
+  char buf[32];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v >= -9.0e15 && v <= 9.0e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  out += buf;
+}
+
+void write_value(std::string& out, const Value& v) {
+  switch (v.type) {
+    case Value::Type::kNull: out += "null"; break;
+    case Value::Type::kBool: out += v.boolean ? "true" : "false"; break;
+    case Value::Type::kNumber: write_number(out, v.number); break;
+    case Value::Type::kString: write_string(out, v.str); break;
+    case Value::Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        if (i > 0) out += ',';
+        write_value(out, v.array[i]);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : v.object) {
+        if (!first) out += ',';
+        first = false;
+        write_string(out, key);
+        out += ':';
+        write_value(out, member);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string write(const Value& value) {
+  std::string out;
+  write_value(out, value);
+  return out;
 }
 
 }  // namespace malnet::obs::json

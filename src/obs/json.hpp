@@ -43,4 +43,10 @@ struct Value {
 /// Returns std::nullopt on any syntax error or trailing garbage.
 [[nodiscard]] std::optional<Value> parse(std::string_view text);
 
+/// Compact serialisation. Object keys render in map order (sorted), so
+/// write(parse(x)) is deterministic. Integral numbers print without a
+/// fractional part or exponent (Chrome trace "ts"/"dur" fields survive a
+/// parse → restamp → write round trip); other numbers use %.17g.
+[[nodiscard]] std::string write(const Value& value);
+
 }  // namespace malnet::obs::json

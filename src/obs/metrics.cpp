@@ -22,6 +22,34 @@ void Histogram::record(std::int64_t v) {
   count_.fetch_add(1, std::memory_order_relaxed);
 }
 
+std::optional<double> HistogramSnapshot::quantile(double q) const {
+  if (count == 0 || counts.empty()) return std::nullopt;
+  q = std::min(1.0, std::max(0.0, q));
+  // Target rank in (0, count]; q == 0 still lands in the first non-empty
+  // bucket instead of an imaginary rank 0.
+  const double target = std::max(1.0, q * static_cast<double>(count));
+  std::uint64_t before = 0;
+  std::size_t i = 0;
+  for (; i < counts.size(); ++i) {
+    if (static_cast<double>(before + counts[i]) >= target) break;
+    before += counts[i];
+  }
+  if (i >= counts.size()) i = counts.size() - 1;  // fp-rounding backstop
+  const bool overflow = i >= bounds.size();
+  if (overflow) {
+    // No upper edge to interpolate toward: clamp to the last finite bound
+    // (or 0 when the histogram has only the overflow bucket).
+    return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+  }
+  const double upper = static_cast<double>(bounds[i]);
+  double lower = i > 0 ? static_cast<double>(bounds[i - 1]) : 0.0;
+  if (lower > upper) lower = upper;  // all-negative first bound
+  const double in_bucket = static_cast<double>(counts[i]);
+  if (in_bucket <= 0.0) return upper;
+  const double frac = (target - static_cast<double>(before)) / in_bucket;
+  return lower + (upper - lower) * std::min(1.0, std::max(0.0, frac));
+}
+
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const auto& [name, v] : other.counters) counters[name] += v;
   for (const auto& [name, v] : other.gauges) gauges[name] += v;
@@ -105,8 +133,38 @@ std::string MetricsSnapshot::to_json() const {
   return os.str();
 }
 
+std::optional<double> MetricsSnapshot::quantile(std::string_view name,
+                                                double q) const {
+  const auto it = histograms.find(std::string(name));
+  if (it == histograms.end()) return std::nullopt;
+  return it->second.quantile(q);
+}
+
+void Registry::set_namespace(std::string prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  namespace_ = std::move(prefix);
+  // Instruments registered before the namespace was claimed must already
+  // conform — otherwise the guarantee is retroactively false.
+  for (const auto& kv : counters_) check_name_locked(kv.first);
+  for (const auto& kv : gauges_) check_name_locked(kv.first);
+  for (const auto& kv : histograms_) check_name_locked(kv.first);
+}
+
+std::string Registry::name_namespace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return namespace_;
+}
+
+void Registry::check_name_locked(std::string_view name) const {
+  if (namespace_.empty()) return;
+  if (name.substr(0, namespace_.size()) == namespace_) return;
+  throw std::invalid_argument("Registry: instrument '" + std::string(name) +
+                              "' outside namespace '" + namespace_ + "'");
+}
+
 Counter& Registry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
+  check_name_locked(name);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   return *counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -115,6 +173,7 @@ Counter& Registry::counter(std::string_view name) {
 
 Gauge& Registry::gauge(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
+  check_name_locked(name);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
@@ -124,6 +183,7 @@ Gauge& Registry::gauge(std::string_view name) {
 Histogram& Registry::histogram(std::string_view name,
                                std::vector<std::int64_t> bounds) {
   std::lock_guard<std::mutex> lock(mu_);
+  check_name_locked(name);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   return *histograms_

@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -87,6 +88,13 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
   std::int64_t sum = 0;
   std::uint64_t count = 0;
+
+  /// Estimated q-quantile (q in [0,1], clamped) by linear interpolation
+  /// inside the bucket holding the target rank. The first bucket's lower
+  /// edge is 0 (or bounds[0] itself when negative — we cannot see below
+  /// it); the overflow bucket has no upper edge, so estimates there clamp
+  /// to the last finite bound. nullopt when the histogram is empty.
+  [[nodiscard]] std::optional<double> quantile(double q) const;
 };
 
 /// A point-in-time copy of a registry. Plain data, deterministic JSON
@@ -106,6 +114,12 @@ struct MetricsSnapshot {
   /// {"counters":{...},"gauges":{...},"histograms":{"h":{"bounds":[...],
   ///  "counts":[...],"sum":N,"count":N}}}
   [[nodiscard]] std::string to_json() const;
+
+  /// Estimated quantile of the named histogram (see
+  /// HistogramSnapshot::quantile). nullopt when the name is unknown or the
+  /// histogram is empty.
+  [[nodiscard]] std::optional<double> quantile(std::string_view name,
+                                               double q) const;
 };
 
 /// Named-instrument registry. Creation is mutex-guarded; returned
@@ -117,6 +131,14 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
+  /// Restricts instrument names to a dotted prefix ("store.", "serve.",
+  /// ...). Registries that feed a merged snapshot each claim their own
+  /// namespace so families from different registries can never collide —
+  /// a collision used to silently shadow one side's values in the merged
+  /// JSON. Creation with a non-matching name throws std::invalid_argument.
+  void set_namespace(std::string prefix);
+  [[nodiscard]] std::string name_namespace() const;
+
   [[nodiscard]] Counter& counter(std::string_view name);
   [[nodiscard]] Gauge& gauge(std::string_view name);
   /// Returns the existing histogram if `name` was already registered (the
@@ -127,7 +149,10 @@ class Registry {
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
+  void check_name_locked(std::string_view name) const;
+
   mutable std::mutex mu_;
+  std::string namespace_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

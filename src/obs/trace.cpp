@@ -3,18 +3,25 @@
 #include <algorithm>
 #include <chrono>
 #include <ostream>
+#include <sstream>
 
+#include "obs/json.hpp"
 #include "util/simtime.hpp"
 
 namespace malnet::obs {
 
-namespace {
 std::int64_t wall_now_us() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::system_clock::now().time_since_epoch())
       .count();
 }
-}  // namespace
+
+std::string hex_id(std::uint64_t v) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out = "0x";
+  for (int i = 15; i >= 0; --i) out += kHex[(v >> (i * 4)) & 0xF];
+  return out;
+}
 
 void Tracer::push(TraceEvent ev) {
   if (events_.size() >= cap_) {
@@ -46,6 +53,21 @@ void Tracer::complete(std::string name, std::string category,
   ev.sim_us = start_sim_us;
   ev.dur_us = now_sim_us() - start_sim_us;
   ev.wall_us = wall_now_us();
+  ev.args_json = std::move(args_json);
+  push(std::move(ev));
+}
+
+void Tracer::wall_complete(std::string name, std::string category,
+                           std::int64_t start_wall_us, std::string args_json) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.phase = 'X';
+  ev.clock = 'w';
+  ev.sim_us = now_sim_us();
+  ev.wall_us = start_wall_us;
+  ev.dur_us = wall_now_us() - start_wall_us;
   ev.args_json = std::move(args_json);
   push(std::move(ev));
 }
@@ -85,19 +107,110 @@ void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events)
   for (const auto& ev : events) {
     if (!first) os << ',';
     first = false;
+    // Wall-clock spans live on the wall timeline; sim spans keep sim "ts"
+    // and carry wall-clock in args as before.
+    const bool wall = ev.clock == 'w';
     os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
        << json_escape(ev.category) << "\",\"ph\":\"" << ev.phase
-       << "\",\"ts\":" << ev.sim_us;
+       << "\",\"ts\":" << (wall ? ev.wall_us : ev.sim_us);
     if (ev.phase == 'X') os << ",\"dur\":" << ev.dur_us;
     os << ",\"pid\":" << ev.pid << ",\"tid\":\"" << json_escape(ev.category)
        << "\"";
     // Instant events need an explicit scope for Chrome's renderer.
     if (ev.phase == 'i') os << ",\"s\":\"t\"";
-    os << ",\"args\":{\"wall_us\":" << ev.wall_us;
-    if (!ev.args_json.empty()) os << ',' << ev.args_json;
+    os << ",\"args\":{";
+    bool first_arg = true;
+    if (!wall) {
+      os << "\"wall_us\":" << ev.wall_us;
+      first_arg = false;
+    }
+    if (ev.trace_id != 0) {
+      if (!first_arg) os << ',';
+      first_arg = false;
+      os << "\"trace\":\"" << hex_id(ev.trace_id) << "\",\"span\":\""
+         << hex_id(ev.span_id) << '"';
+    }
+    if (!ev.args_json.empty()) {
+      if (!first_arg) os << ',';
+      os << ev.args_json;
+    }
     os << "}}";
   }
   os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  write_chrome_trace(os, events);
+  return os.str();
+}
+
+SpanRecorder::SpanRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SpanRecorder::span(std::string name, std::string category,
+                        std::int64_t start_wall_us, std::int64_t dur_us,
+                        std::uint64_t trace_id, std::uint64_t span_id,
+                        std::string args_json) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.phase = 'X';
+  ev.clock = 'w';
+  ev.wall_us = start_wall_us;
+  ev.dur_us = dur_us;
+  ev.trace_id = trace_id;
+  ev.span_id = span_id;
+  ev.args_json = std::move(args_json);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> SpanRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::uint64_t SpanRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::optional<std::string> merge_chrome_traces(
+    const std::vector<std::pair<std::string, std::string>>& node_docs) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t node = 0; node < node_docs.size(); ++node) {
+    const auto& [label, doc] = node_docs[node];
+    const auto parsed = json::parse(doc);
+    if (!parsed) return std::nullopt;
+    const json::Value* events = parsed->find("traceEvents");
+    if (events == nullptr || events->type != json::Value::Type::kArray) {
+      return std::nullopt;
+    }
+    if (!first) os << ',';
+    first = false;
+    // One process lane per node, named after its label.
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << node
+       << ",\"args\":{\"name\":\"" << json_escape(label) << "\"}}";
+    for (const auto& ev : events->array) {
+      if (ev.type != json::Value::Type::kObject) return std::nullopt;
+      json::Value restamped = ev;
+      json::Value pid;
+      pid.type = json::Value::Type::kNumber;
+      pid.number = static_cast<double>(node);
+      restamped.object["pid"] = pid;
+      os << ',' << json::write(restamped);
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
 }
 
 void write_timeline(std::ostream& os, const std::vector<TraceEvent>& events) {

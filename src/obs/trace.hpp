@@ -13,22 +13,36 @@
 // covered by the determinism contract (see obs/metrics.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace malnet::obs {
+
+/// Current wall-clock, epoch microseconds (system_clock).
+[[nodiscard]] std::int64_t wall_now_us();
+
+/// "0x" + 16 lowercase hex digits — the rendering for trace/span ids.
+[[nodiscard]] std::string hex_id(std::uint64_t v);
 
 struct TraceEvent {
   std::string name;      // "sandbox:observe", "campaign-round", ...
   std::string category;  // track: "sandbox", "pipeline", "campaign", ...
   char phase = 'i';      // 'X' = complete (span), 'i' = instant
-  std::int64_t sim_us = 0;   // simulated start time
-  std::int64_t dur_us = 0;   // simulated duration ('X' only)
-  std::int64_t wall_us = 0;  // wall-clock at record time (epoch µs)
+  char clock = 's';      // 's' = sim-time span, 'w' = wall-clock span
+  std::int64_t sim_us = 0;   // simulated start time ('s' events)
+  std::int64_t dur_us = 0;   // duration ('X' only; sim or wall per `clock`)
+  std::int64_t wall_us = 0;  // wall-clock: record time ('s') / start ('w')
   int pid = 0;               // shard index (set by the study merge)
+  std::uint64_t trace_id = 0;  // cross-node request correlation (0 = none)
+  std::uint64_t span_id = 0;
   /// Extra fields, pre-rendered as the *inside* of a JSON object, e.g.
   /// "\"packets\":12,\"mode\":\"observe\"". Empty means no args.
   std::string args_json;
@@ -66,6 +80,12 @@ class Tracer {
   void complete(std::string name, std::string category, std::int64_t start_sim_us,
                 std::string args_json = {});
 
+  /// Records a wall-clock span from `start_wall_us` (see wall_now_us())
+  /// to now. Wall spans sit outside the determinism contract; the Chrome
+  /// export places them on the wall timeline (`clock == 'w'`).
+  void wall_complete(std::string name, std::string category,
+                     std::int64_t start_wall_us, std::string args_json = {});
+
   [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
   /// Moves the buffer out (used at end-of-run to hand events to results).
   [[nodiscard]] std::vector<TraceEvent> take();
@@ -80,9 +100,51 @@ class Tracer {
   std::uint64_t dropped_ = 0;
 };
 
+/// Thread-safe bounded span buffer for multi-threaded servers: io threads
+/// record() wall-clock spans, the admin endpoint snapshots them. Disabled
+/// recorders take no lock and buffer nothing.
+class SpanRecorder {
+ public:
+  explicit SpanRecorder(std::size_t capacity = 1u << 16);
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records a wall-clock span; no-op while disabled, counted as dropped
+  /// once the capacity is hit.
+  void span(std::string name, std::string category, std::int64_t start_wall_us,
+            std::int64_t dur_us, std::uint64_t trace_id, std::uint64_t span_id,
+            std::string args_json = {});
+
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
 /// Chrome trace_event JSON ({"traceEvents":[...]}). Events are written in
 /// the order given; Chrome/Perfetto sort by ts themselves.
 void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events);
+
+/// Same document as a string (convenience for the admin endpoint).
+[[nodiscard]] std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// Merges Chrome trace documents from several processes into one: node i's
+/// events are re-stamped with pid=i and a process_name metadata event
+/// carrying the node label, so a cross-node request renders as one trace
+/// with one lane per process. Returns nullopt if any document fails to
+/// parse or lacks a traceEvents array.
+[[nodiscard]] std::optional<std::string> merge_chrome_traces(
+    const std::vector<std::pair<std::string, std::string>>& node_docs);
 
 /// Human-readable timeline, one line per event, sorted by (sim time, pid).
 void write_timeline(std::ostream& os, const std::vector<TraceEvent>& events);

@@ -1,0 +1,82 @@
+#include "obs/window.hpp"
+
+#include <utility>
+
+namespace malnet::obs {
+
+namespace {
+
+/// newest - oldest, key-wise. Counters and histogram buckets clamp at 0 on
+/// regression; gauges report the newest level (a delta of levels is
+/// rarely what a rate display wants).
+MetricsSnapshot diff(const MetricsSnapshot& newest,
+                     const MetricsSnapshot& oldest) {
+  MetricsSnapshot out;
+  for (const auto& [name, v] : newest.counters) {
+    const auto it = oldest.counters.find(name);
+    const std::uint64_t base = it == oldest.counters.end() ? 0 : it->second;
+    out.counters[name] = v >= base ? v - base : 0;
+  }
+  out.gauges = newest.gauges;
+  for (const auto& [name, h] : newest.histograms) {
+    HistogramSnapshot d = h;
+    const auto it = oldest.histograms.find(name);
+    if (it != oldest.histograms.end() && it->second.bounds == h.bounds) {
+      const HistogramSnapshot& base = it->second;
+      for (std::size_t i = 0; i < d.counts.size() && i < base.counts.size();
+           ++i) {
+        d.counts[i] = d.counts[i] >= base.counts[i] ? d.counts[i] - base.counts[i]
+                                                    : 0;
+      }
+      d.sum -= base.sum;
+      d.count = d.count >= base.count ? d.count - base.count : 0;
+    }
+    out.histograms.emplace(name, std::move(d));
+  }
+  return out;
+}
+
+}  // namespace
+
+SnapshotRing::SnapshotRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SnapshotRing::push(std::int64_t wall_us, MetricsSnapshot snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!samples_.empty() && wall_us < samples_.back().first) return;
+  samples_.emplace_back(wall_us, std::move(snap));
+  while (samples_.size() > capacity_) samples_.pop_front();
+}
+
+std::optional<SnapshotRing::Window> SnapshotRing::window(
+    std::int64_t span_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.size() < 2) return std::nullopt;
+  const auto& [newest_t, newest] = samples_.back();
+  // Oldest sample still within the span; the ring is time-ordered, so the
+  // first qualifying sample from the front is it.
+  const std::pair<std::int64_t, MetricsSnapshot>* base = nullptr;
+  for (const auto& s : samples_) {
+    if (newest_t - s.first <= span_us) {
+      base = &s;
+      break;
+    }
+  }
+  if (base == nullptr || base->first == newest_t) {
+    // Everything in-span shares the newest timestamp: fall back to the
+    // previous sample so short spans still report something meaningful.
+    base = &samples_[samples_.size() - 2];
+    if (base->first == newest_t) return std::nullopt;
+  }
+  Window w;
+  w.seconds = static_cast<double>(newest_t - base->first) / 1e6;
+  w.delta = diff(newest, base->second);
+  return w;
+}
+
+std::size_t SnapshotRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+}  // namespace malnet::obs

@@ -1,0 +1,51 @@
+// malnet::obs — windowed metric aggregation.
+//
+// SnapshotRing keeps a bounded history of timestamped MetricsSnapshots so
+// a live endpoint can report 1s/10s/60s *rates and deltas* instead of only
+// lifetime totals. The sampler (the admin tick) pushes ~1 Hz; readers
+// compute a window by differencing the newest sample against the oldest
+// sample still inside the span. Lock usage is one short mutex hold per
+// push/read — no instrument hot path goes through here.
+//
+// Wall-clock is fine in this layer: windows describe the live process, not
+// study output, so the DESIGN.md §10 determinism rule does not apply.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "obs/metrics.hpp"
+
+namespace malnet::obs {
+
+class SnapshotRing {
+ public:
+  /// `capacity` bounds the sample history; at a 1 Hz push cadence the
+  /// default comfortably covers a 60s window.
+  explicit SnapshotRing(std::size_t capacity = 128);
+
+  /// Appends a sample. `wall_us` must be non-decreasing; a sample older
+  /// than the newest one is dropped (clock confusion, not history).
+  void push(std::int64_t wall_us, MetricsSnapshot snap);
+
+  struct Window {
+    double seconds = 0;     // actual covered span (<= requested)
+    MetricsSnapshot delta;  // counter/histogram deltas; gauges = newest level
+  };
+
+  /// Difference over (up to) the trailing `span_us`. nullopt until two
+  /// samples with distinct timestamps exist. Counters that went backwards
+  /// (registry swap) clamp to 0 rather than underflowing.
+  [[nodiscard]] std::optional<Window> window(std::int64_t span_us) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::deque<std::pair<std::int64_t, MetricsSnapshot>> samples_;
+};
+
+}  // namespace malnet::obs

@@ -1,0 +1,322 @@
+#include "serve/admin.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/socket.hpp"
+
+namespace malnet::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kPollMs = 100;
+constexpr std::string_view kHeadEnd = "\r\n\r\n";
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string render_http(const AdminResponse& resp) {
+  std::string out = "HTTP/1.0 " + std::to_string(resp.status) + ' ' +
+                    status_text(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+struct AdminConn {
+  util::Fd fd;
+  std::string in;        // request head as read so far
+  std::string out;       // rendered response
+  std::size_t out_pos = 0;
+  bool responding = false;  // head complete (or rejected); now writing
+  Clock::time_point started = Clock::now();
+
+  [[nodiscard]] std::size_t out_pending() const { return out.size() - out_pos; }
+};
+
+}  // namespace
+
+std::optional<std::string> parse_admin_request(util::BytesView head) {
+  // Only the request line matters; headers after it are ignored but must
+  // be clean ASCII up to where we look (the first CRLF).
+  std::string_view text(reinterpret_cast<const char*>(head.data()),
+                        head.size());
+  const auto line_end = text.find("\r\n");
+  if (line_end == std::string_view::npos) return std::nullopt;
+  std::string_view line = text.substr(0, line_end);
+  if (line.size() < 5 || line.substr(0, 4) != "GET ") return std::nullopt;
+  line.remove_prefix(4);
+  const auto sp = line.find(' ');
+  if (sp == std::string_view::npos) return std::nullopt;
+  const std::string_view target = line.substr(0, sp);
+  const std::string_view version = line.substr(sp + 1);
+  if (target.empty() || target[0] != '/') return std::nullopt;
+  if (version.substr(0, 7) != "HTTP/1.") return std::nullopt;
+  for (const char c : target) {
+    if (static_cast<unsigned char>(c) <= 0x20 ||
+        static_cast<unsigned char>(c) >= 0x7F) {
+      return std::nullopt;
+    }
+  }
+  // Query strings are not part of the admin surface; strip them so
+  // "/metrics?x=y" still routes.
+  const auto q = target.find('?');
+  return std::string(target.substr(0, q));
+}
+
+struct AdminServer::Impl {
+  AdminConfig cfg;
+  obs::Registry& reg;
+  std::map<std::string, AdminHandler> handlers;
+  std::function<void()> tick;
+  int tick_ms = 0;
+
+  util::Fd listen_fd;
+  std::uint16_t port = 0;
+  std::thread thread;
+  std::atomic<bool> running{false};
+  std::atomic<bool> stopping{false};
+
+  obs::Counter* requests = nullptr;
+  obs::Counter* http_errors = nullptr;
+  obs::Counter* bytes_tx = nullptr;
+  obs::Counter* connections = nullptr;
+
+  Impl(AdminConfig c, obs::Registry& r) : cfg(std::move(c)), reg(r) {
+    requests = &reg.counter("admin.requests");
+    http_errors = &reg.counter("admin.http_errors");
+    bytes_tx = &reg.counter("admin.bytes_tx");
+    connections = &reg.counter("admin.connections");
+  }
+
+  AdminResponse dispatch(const std::string& path) {
+    const auto it = handlers.find(path);
+    if (it == handlers.end()) {
+      http_errors->inc();
+      return {404, "text/plain; charset=utf-8", "not found\n"};
+    }
+    try {
+      return it->second();
+    } catch (const std::exception& e) {
+      http_errors->inc();
+      return {500, "text/plain; charset=utf-8",
+              std::string("handler error: ") + e.what() + '\n'};
+    } catch (...) {
+      http_errors->inc();
+      return {500, "text/plain; charset=utf-8", "handler error\n"};
+    }
+  }
+
+  /// Consumes input on `conn`; flips it to the responding state once the
+  /// head is complete, oversized, or malformed. False on a dead socket.
+  bool read_head(AdminConn& conn) {
+    char buf[4096];
+    for (;;) {
+      const auto n = ::recv(conn.fd.get(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn.in.append(buf, static_cast<std::size_t>(n));
+        if (conn.in.size() > cfg.max_request_bytes) {
+          http_errors->inc();
+          conn.out = render_http(
+              {400, "text/plain; charset=utf-8", "request too large\n"});
+          conn.responding = true;
+          return true;
+        }
+        if (conn.in.find(kHeadEnd) != std::string::npos) {
+          const auto path = parse_admin_request(util::BytesView{
+              reinterpret_cast<const std::uint8_t*>(conn.in.data()),
+              conn.in.size()});
+          if (!path) {
+            http_errors->inc();
+            conn.out = render_http(
+                {400, "text/plain; charset=utf-8", "bad request\n"});
+          } else {
+            requests->inc();
+            conn.out = render_http(dispatch(*path));
+          }
+          conn.responding = true;
+          return true;
+        }
+        if (static_cast<std::size_t>(n) < sizeof(buf)) return true;
+        continue;
+      }
+      if (n == 0) return false;  // EOF before a complete head: just close
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+
+  /// False when the response is fully written or the socket died — either
+  /// way the connection is done.
+  bool write_out(AdminConn& conn) {
+    while (conn.out_pending() > 0) {
+      const auto n = ::send(conn.fd.get(), conn.out.data() + conn.out_pos,
+                            conn.out_pending(), MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out_pos += static_cast<std::size_t>(n);
+        bytes_tx->inc(static_cast<std::uint64_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return false;  // fully flushed: close (HTTP/1.0, Connection: close)
+  }
+
+  void loop() {
+    std::vector<AdminConn> conns;
+    std::vector<pollfd> fds;
+    auto last_tick = Clock::now();
+    const auto idle = std::chrono::milliseconds(cfg.idle_timeout_ms);
+
+    while (!stopping.load()) {
+      if (tick && tick_ms > 0 &&
+          Clock::now() - last_tick >= std::chrono::milliseconds(tick_ms)) {
+        last_tick = Clock::now();
+        tick();
+      }
+      fds.clear();
+      fds.push_back({listen_fd.get(), POLLIN, 0});
+      for (const auto& conn : conns) {
+        short events = conn.responding ? POLLOUT : POLLIN;
+        fds.push_back({conn.fd.get(), events, 0});
+      }
+      const int wait =
+          tick && tick_ms > 0 ? std::min(kPollMs, tick_ms) : kPollMs;
+      (void)::poll(fds.data(), fds.size(), wait);
+
+      if (fds[0].revents & POLLIN) {
+        for (;;) {
+          const int fd = ::accept(listen_fd.get(), nullptr, nullptr);
+          if (fd < 0) break;
+          util::set_nonblocking(fd, true);
+          connections->inc();
+          AdminConn conn;
+          conn.fd.reset(fd);
+          conns.push_back(std::move(conn));
+        }
+      }
+
+      const auto now = Clock::now();
+      for (std::size_t i = 0; i < conns.size();) {
+        auto& conn = conns[i];
+        bool alive = true;
+        const bool had_fd =
+            i + 1 < fds.size() && fds[i + 1].fd == conn.fd.get();
+        const short rev = had_fd ? fds[i + 1].revents : 0;
+        if (rev & (POLLERR | POLLNVAL)) alive = false;
+        if (alive && !conn.responding && (rev & (POLLIN | POLLHUP))) {
+          alive = read_head(conn);
+        }
+        if (alive && conn.responding) alive = write_out(conn);
+        if (alive && now - conn.started > idle) alive = false;
+        if (!alive) {
+          conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+};
+
+AdminServer::AdminServer(AdminConfig cfg, obs::Registry& registry)
+    : impl_(std::make_unique<Impl>(std::move(cfg), registry)) {}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::handle(std::string path, AdminHandler fn) {
+  impl_->handlers[std::move(path)] = std::move(fn);
+}
+
+void AdminServer::set_tick(std::function<void()> fn, int interval_ms) {
+  impl_->tick = std::move(fn);
+  impl_->tick_ms = interval_ms;
+}
+
+void AdminServer::start() {
+  if (impl_->running.load()) return;
+  auto listen = util::tcp_listen(impl_->cfg.host, impl_->cfg.port);
+  impl_->listen_fd = std::move(listen.fd);
+  impl_->port = listen.port;
+  impl_->stopping.store(false);
+  impl_->running.store(true);
+  impl_->thread = std::thread([this] { impl_->loop(); });
+}
+
+void AdminServer::stop() {
+  if (!impl_->running.load()) return;
+  impl_->stopping.store(true);
+  if (impl_->thread.joinable()) impl_->thread.join();
+  impl_->listen_fd.reset();
+  impl_->running.store(false);
+}
+
+std::uint16_t AdminServer::port() const { return impl_->port; }
+
+bool AdminServer::running() const { return impl_->running.load(); }
+
+std::optional<std::string> admin_get(const std::string& host,
+                                     std::uint16_t port,
+                                     const std::string& path, int timeout_ms) {
+  auto fd = util::tcp_connect(host, port, timeout_ms);
+  if (!fd.valid()) return std::nullopt;
+  const std::string req =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  if (!util::send_all(fd.get(),
+                      util::BytesView{
+                          reinterpret_cast<const std::uint8_t*>(req.data()),
+                          req.size()},
+                      timeout_ms)) {
+    return std::nullopt;
+  }
+  std::string doc;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    std::uint8_t buf[16 * 1024];
+    const int left = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                              Clock::now())
+            .count());
+    if (left <= 0) return std::nullopt;
+    const int n = util::recv_some(fd.get(), buf, sizeof(buf), left);
+    if (n < 0) return std::nullopt;
+    if (n == 0) break;
+    doc.append(reinterpret_cast<const char*>(buf),
+               static_cast<std::size_t>(n));
+  }
+  if (doc.rfind("HTTP/1.", 0) != 0) return std::nullopt;
+  const auto sp = doc.find(' ');
+  if (sp == std::string::npos || doc.compare(sp + 1, 3, "200") != 0) {
+    return std::nullopt;
+  }
+  const auto head_end = doc.find("\r\n\r\n");
+  if (head_end == std::string::npos) return std::nullopt;
+  return doc.substr(head_end + 4);
+}
+
+}  // namespace malnet::serve

@@ -1,0 +1,98 @@
+// malnet::serve admin plane (DESIGN.md §15).
+//
+// A deliberately minimal HTTP/1.0 text server for live introspection of a
+// running serve/sync process: /metrics (Prometheus exposition with
+// windowed rates), /healthz, /statusz, /slowz, /tracez. One thread, one
+// poll(2) loop over util sockets — the data plane's I/O threads are never
+// touched, so scraping cannot steal a request's cycles beyond the shared
+// metric atomics.
+//
+// Protocol scope is intentionally tiny: GET only, request head bounded at
+// `max_request_bytes`, every response carries Content-Length and
+// Connection: close, and every connection is closed after one response (or
+// dropped after one malformed/oversized head). The parser is pure and
+// exposed for fuzzing — no admin input may crash the process or leak a
+// connection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "util/bytes.hpp"
+
+namespace malnet::serve {
+
+/// Parses an HTTP request head (everything up to and including the blank
+/// line, or however much arrived). Returns the request-target path for a
+/// well-formed `GET <path> HTTP/1.x` request line; nullopt for anything
+/// else (other methods, missing version, embedded NUL/control bytes).
+/// Never throws.
+[[nodiscard]] std::optional<std::string> parse_admin_request(
+    util::BytesView head);
+
+struct AdminResponse {
+  int status = 200;  // 200, 404, 500 (400 is produced by the server itself)
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+};
+
+using AdminHandler = std::function<AdminResponse()>;
+
+struct AdminConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; AdminServer::port() reports it
+  /// Cap on a request head; longer requests get 400 and a close.
+  std::size_t max_request_bytes = 4096;
+  /// A connection that has not completed its request in this long is
+  /// dropped (admin clients are curl, not pipelines).
+  int idle_timeout_ms = 5'000;
+};
+
+/// Metrics (all `admin.`-prefixed, on the registry passed in): requests,
+/// http_errors, bytes_tx, connections.
+class AdminServer {
+ public:
+  AdminServer(AdminConfig cfg, obs::Registry& registry);
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers a handler for an exact path. Must be called before start();
+  /// handlers run on the admin thread and may block it (scrapes are
+  /// serialized by design).
+  void handle(std::string path, AdminHandler fn);
+
+  /// Periodic callback on the admin thread (the metrics-ring sampler).
+  /// Must be set before start(); 0 or negative interval disables it.
+  void set_tick(std::function<void()> fn, int interval_ms);
+
+  /// Binds and spawns the admin thread. Throws std::runtime_error on bind
+  /// failure. Idempotent until stop().
+  void start();
+  /// Joins the admin thread and closes every connection. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const;
+  [[nodiscard]] bool running() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Minimal HTTP GET against an admin endpoint: returns the response body
+/// on a 200, nullopt on connect failure, timeout, or any other status.
+/// The scrape client used by tests, bench_serve and `malnetctl sync
+/// --trace-out` (fetching the remote's /tracez).
+[[nodiscard]] std::optional<std::string> admin_get(const std::string& host,
+                                                   std::uint16_t port,
+                                                   const std::string& path,
+                                                   int timeout_ms = 5'000);
+
+}  // namespace malnet::serve

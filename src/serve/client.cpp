@@ -33,7 +33,11 @@ void Client::close() {
 std::uint64_t Client::send(std::string_view query) {
   if (!fd_.valid()) return 0;
   const std::uint64_t id = next_id_++;
-  const auto frame = encode_request({id, std::string(query)});
+  // Span ids derive from the request id — unique per request, and the
+  // server echoes them back in its spans for client/server correlation.
+  last_span_id_ = trace_id_ == 0 ? 0 : id;
+  const auto frame =
+      encode_request({id, std::string(query), trace_id_, last_span_id_});
   if (!util::send_all(fd_.get(), frame, opts_.io_timeout_ms)) {
     close();
     return 0;

@@ -57,11 +57,20 @@ class Client {
   /// send + recv, checking the echoed id. Nullopt on any failure.
   [[nodiscard]] std::optional<std::string> query(std::string_view q);
 
+  /// Stamps every subsequent request with this trace id and a fresh span
+  /// id (MQR2 framing, DESIGN.md §15). 0 reverts to untraced MQR1 frames.
+  void set_trace(std::uint64_t trace_id) { trace_id_ = trace_id; }
+  [[nodiscard]] std::uint64_t trace_id() const { return trace_id_; }
+  /// Span id stamped on the most recent send().
+  [[nodiscard]] std::uint64_t last_span_id() const { return last_span_id_; }
+
  private:
   util::Fd fd_;
   ClientOptions opts_;
   FrameReader reader_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t last_span_id_ = 0;
 };
 
 }  // namespace malnet::serve

@@ -35,6 +35,7 @@ constexpr int kTickMs = 100;
 
 struct Connection {
   util::Fd fd;
+  std::string peer;  // "ip:port", captured at adoption
   FrameReader reader;
   util::Bytes out;
   std::size_t out_pos = 0;
@@ -91,7 +92,17 @@ struct IoThread {
   WakePipe wake;
   std::mutex mu;
   std::vector<int> pending;  // accepted fds awaiting adoption
+  // Point-in-time view of this thread's connections, refreshed once per
+  // poll tick for Server::connections().
+  std::mutex stats_mu;
+  std::vector<ConnectionInfo> stats;
 };
+
+/// First whitespace-delimited token — the op label for slow-log/trace rows.
+std::string first_word(std::string_view s) {
+  const auto end = s.find_first_of(" \t\r\n");
+  return std::string(s.substr(0, std::min(end, s.size())));
+}
 
 }  // namespace
 
@@ -108,6 +119,7 @@ struct Server::Impl {
   WakePipe stop_wake;  // request_stop() -> wait()
   std::mutex stop_mu;
   bool stopped = false;
+  obs::SlowLog slow;
 
   // Instruments are cached once; per-request cost is a relaxed fetch_add.
   obs::Counter* accepted = nullptr;
@@ -122,7 +134,10 @@ struct Server::Impl {
   obs::Histogram* latency = nullptr;
 
   Impl(store::Store& s, ServeConfig c, obs::Registry& r)
-      : store(s), cfg(std::move(c)), reg(r) {
+      : store(s),
+        cfg(std::move(c)),
+        reg(r),
+        slow(cfg.slow_log_capacity, cfg.slow_threshold_us) {
     accepted = &reg.counter("serve.connections_accepted");
     closed = &reg.counter("serve.connections_closed");
     active = &reg.gauge("serve.connections_active");
@@ -156,7 +171,7 @@ struct Server::Impl {
     if (!req) {
       if (cfg.aux_handler) {
         const auto t0 = Clock::now();
-        auto frame = cfg.aux_handler(body);
+        auto frame = cfg.aux_handler(body, AuxContext{conn.peer});
         if (frame) {
           latency->record(
               std::chrono::duration_cast<std::chrono::microseconds>(
@@ -173,12 +188,26 @@ struct Server::Impl {
       conn.closing = true;
       return;
     }
+    const std::int64_t wall0 = obs::wall_now_us();
     const auto t0 = Clock::now();
     std::string answer = engine->answer(req->query);
-    latency->record(std::chrono::duration_cast<std::chrono::microseconds>(
-                        Clock::now() - t0)
-                        .count());
+    const std::int64_t us =
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
+            .count();
+    latency->record(us);
     requests->inc();
+    // Threshold pre-check against the (immutable) config spares fast
+    // requests the slow-log mutex and the op-string allocation.
+    if (us >= cfg.slow_threshold_us) {
+      slow.record({"query:" + first_word(req->query), conn.peer, us,
+                   answer.size(), req->trace_id, req->span_id, wall0});
+    }
+    if (cfg.spans != nullptr && req->trace_id != 0 && cfg.spans->enabled()) {
+      cfg.spans->span("serve:" + first_word(req->query), "serve", wall0, us,
+                      req->trace_id, req->span_id,
+                      "\"bytes\":" + std::to_string(answer.size()) +
+                          ",\"peer\":\"" + obs::json_escape(conn.peer) + '"');
+    }
     conn.queue(encode_response({req->id, Status::kOk, std::move(answer)}));
   }
 
@@ -354,8 +383,27 @@ void Server::Impl::io_loop(IoThread& self) {
     for (const int fd : fresh) {
       Connection conn;
       conn.fd.reset(fd);
+      conn.peer = util::peer_address(fd);
       conn.reader = FrameReader(effective_max_body());
       conns.push_back(std::move(conn));
+    }
+  };
+
+  const auto refresh_stats = [&] {
+    std::lock_guard<std::mutex> lock(self.stats_mu);
+    self.stats.clear();
+    const auto now = Clock::now();
+    for (const auto& conn : conns) {
+      ConnectionInfo info;
+      info.peer = conn.peer;
+      info.out_pending = conn.out_pending();
+      info.pending_responses = conn.pending_responses;
+      info.paused = conn.paused;
+      info.closing = conn.closing;
+      info.idle_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         now - conn.last_active)
+                         .count();
+      self.stats.push_back(std::move(info));
     }
   };
 
@@ -416,6 +464,7 @@ void Server::Impl::io_loop(IoThread& self) {
         ++i;
       }
     }
+    refresh_stats();
   }
 
   // Drain: one final read of whatever each client already wrote (the
@@ -435,6 +484,24 @@ void Server::Impl::io_loop(IoThread& self) {
     }
     close_conn(conn);
   }
+  {
+    // Leave an empty table behind — draining closed everything.
+    std::lock_guard<std::mutex> lock(self.stats_mu);
+    self.stats.clear();
+  }
 }
+
+bool Server::draining() const { return impl_->stopping.load(); }
+
+std::vector<ConnectionInfo> Server::connections() const {
+  std::vector<ConnectionInfo> out;
+  for (const auto& io : impl_->io) {
+    std::lock_guard<std::mutex> lock(io->stats_mu);
+    out.insert(out.end(), io->stats.begin(), io->stats.end());
+  }
+  return out;
+}
+
+const obs::SlowLog& Server::slow_log() const { return impl_->slow; }
 
 }  // namespace malnet::serve

@@ -41,11 +41,18 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/slowlog.hpp"
+#include "obs/trace.hpp"
 #include "store/query.hpp"
 #include "store/store.hpp"
 #include "util/bytes.hpp"
 
 namespace malnet::serve {
+
+/// Per-request context handed to aux handlers alongside the frame body.
+struct AuxContext {
+  std::string_view peer;  // remote "ip:port" (may be "?")
+};
 
 struct ServeConfig {
   std::string host = "127.0.0.1";
@@ -66,11 +73,29 @@ struct ServeConfig {
   /// here and the handler returns a complete response frame — or nullopt
   /// to have the body treated as a protocol error. Handlers run inline on
   /// the I/O threads and must be thread-safe.
-  std::function<std::optional<util::Bytes>(util::BytesView)> aux_handler;
+  std::function<std::optional<util::Bytes>(util::BytesView, const AuxContext&)>
+      aux_handler;
   /// Frame-body bound while aux_handler is set (aux frames — whole
   /// segments — dwarf query frames; the effective per-connection limit is
   /// the larger of the two bounds).
   std::size_t max_aux_frame_body = 1 << 20;
+  /// Query requests at or above this latency land in the slow-request log.
+  std::int64_t slow_threshold_us = 10'000;
+  /// Slowest entries the log retains.
+  std::size_t slow_log_capacity = 32;
+  /// When set (and enabled), traced requests (MQR2) record a wall-clock
+  /// server span here — the /tracez side of cross-node tracing.
+  obs::SpanRecorder* spans = nullptr;
+};
+
+/// One row of the live connection table (/statusz).
+struct ConnectionInfo {
+  std::string peer;
+  std::size_t out_pending = 0;   // unwritten response bytes
+  int pending_responses = 0;     // responses queued since last full drain
+  bool paused = false;           // backpressured: reads off
+  bool closing = false;
+  std::int64_t idle_ms = 0;      // since last byte read
 };
 
 /// Metrics (on the registry passed in, all `serve.`-prefixed):
@@ -109,6 +134,16 @@ class Server {
   void wait();
 
   [[nodiscard]] bool running() const { return running_.load(); }
+
+  /// True once a stop/drain has been requested (the /healthz drain state).
+  [[nodiscard]] bool draining() const;
+
+  /// Live connection table, refreshed by each I/O thread once per poll
+  /// tick — a point-in-time view, cheap enough for an admin page.
+  [[nodiscard]] std::vector<ConnectionInfo> connections() const;
+
+  /// Slow-request log (query requests above ServeConfig::slow_threshold_us).
+  [[nodiscard]] const obs::SlowLog& slow_log() const;
 
  private:
   struct Impl;

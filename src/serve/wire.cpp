@@ -15,8 +15,13 @@ std::uint32_t read_u32(const std::uint8_t* p) {
 
 util::Bytes encode_request(const Request& req) {
   util::ByteWriter body;
-  body.u32(kRequestMagic);
+  const bool traced = req.trace_id != 0 || req.span_id != 0;
+  body.u32(traced ? kRequestMagicV2 : kRequestMagic);
   body.u64(req.id);
+  if (traced) {
+    body.u64(req.trace_id);
+    body.u64(req.span_id);
+  }
   body.raw(req.query);
 
   util::ByteWriter frame;
@@ -43,9 +48,15 @@ std::optional<Request> decode_request(util::BytesView body) {
     return std::nullopt;
   }
   util::ByteReader r(body);
-  if (r.u32() != kRequestMagic) return std::nullopt;
+  const auto magic = r.u32();
+  if (magic != kRequestMagic && magic != kRequestMagicV2) return std::nullopt;
   Request req;
   req.id = r.u64();
+  if (magic == kRequestMagicV2) {
+    if (body.size() < kRequestHeaderSizeV2) return std::nullopt;
+    req.trace_id = r.u64();
+    req.span_id = r.u64();
+  }
   req.query = r.str(r.remaining());
   return req;
 }

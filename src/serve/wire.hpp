@@ -6,7 +6,13 @@
 //
 //   frame    := u32 body_len (big-endian) || body          body_len <= 1 MiB
 //   request  := u32 magic "MQR1" || u64 id || query bytes (UTF-8 query line)
+//   traced   := u32 magic "MQR2" || u64 id || u64 trace_id || u64 span_id
+//               || query bytes
 //   response := u32 magic "MPR1" || u64 id || u8 status || answer bytes
+//
+// MQR2 is the backward-compatible tracing extension: encode_request emits
+// it only when a trace id is set, so untraced clients produce byte-for-byte
+// MQR1 and old servers never see the new magic. Servers accept both.
 //
 // status 0 = ok (answer is the QueryEngine text, byte-identical to what
 // `malnetctl query` prints for the same line); status 1 = protocol error
@@ -24,19 +30,26 @@
 
 namespace malnet::serve {
 
-inline constexpr std::uint32_t kRequestMagic = 0x4D515231;   // "MQR1"
-inline constexpr std::uint32_t kResponseMagic = 0x4D505231;  // "MPR1"
+inline constexpr std::uint32_t kRequestMagic = 0x4D515231;    // "MQR1"
+inline constexpr std::uint32_t kRequestMagicV2 = 0x4D515232;  // "MQR2"
+inline constexpr std::uint32_t kResponseMagic = 0x4D505231;   // "MPR1"
 /// Upper bound on a frame body; the length prefix itself is 4 more bytes.
 inline constexpr std::size_t kMaxFrameBody = 1 << 20;
 inline constexpr std::size_t kFramePrefixSize = 4;
 /// Fixed part of a request body (magic + id).
 inline constexpr std::size_t kRequestHeaderSize = 4 + 8;
+/// Fixed part of a traced (MQR2) request body (magic + id + trace + span).
+inline constexpr std::size_t kRequestHeaderSizeV2 = 4 + 8 + 8 + 8;
 /// Fixed part of a response body (magic + id + status).
 inline constexpr std::size_t kResponseHeaderSize = 4 + 8 + 1;
 
 struct Request {
   std::uint64_t id = 0;
   std::string query;
+  /// Cross-node tracing (DESIGN.md §15). Both zero = untraced; the encoder
+  /// then emits the V1 frame unchanged.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 
   friend bool operator==(const Request&, const Request&) = default;
 };

@@ -81,6 +81,10 @@ bool campaign_empty(const core::ProbeCampaignResult& pc) {
 }  // namespace
 
 Store::Store(std::string dir) : dir_(std::move(dir)) {
+  // The private registry merges into callers' global snapshots; claiming
+  // the namespace makes cross-registry name collisions impossible instead
+  // of silently shadowed (obs::Registry::set_namespace).
+  registry_.set_namespace("store.");
   std::error_code ec;
   fs::create_directories(dir_ + "/segments", ec);
   if (ec) {
@@ -135,6 +139,51 @@ void Store::write_manifest_locked() {
         << m.file << '\n';
   }
   util::write_file_atomic(manifest_path(), std::string_view(out.str()));
+}
+
+Store::Health Store::health() const {
+  Health h;
+  std::size_t expected = 0;
+  {
+    std::lock_guard lock(mu_);
+    expected = segments_.size();
+  }
+  try {
+    if (!fs::exists(manifest_path())) {
+      if (expected == 0) {
+        h.ok = true;
+        h.detail = "ok (empty store)";
+      } else {
+        h.detail = "manifest missing with " + std::to_string(expected) +
+                   " live segments";
+      }
+      return h;
+    }
+    std::ifstream f(manifest_path());
+    std::string line;
+    if (!f || !std::getline(f, line) || line != "malnet-store 1") {
+      h.detail = "manifest unreadable or bad header";
+      return h;
+    }
+    while (std::getline(f, line)) {
+      if (line.empty()) continue;
+      if (line.rfind("segment ", 0) != 0) {
+        h.detail = "corrupt manifest line";
+        return h;
+      }
+      ++h.segments;
+    }
+    if (h.segments < expected) {
+      h.detail = "manifest lists " + std::to_string(h.segments) +
+                 " segments, memory has " + std::to_string(expected);
+      return h;
+    }
+    h.ok = true;
+    h.detail = "ok";
+  } catch (const std::exception& e) {
+    h.detail = std::string("probe failed: ") + e.what();
+  }
+  return h;
 }
 
 void Store::collect_garbage() {

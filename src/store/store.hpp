@@ -143,6 +143,16 @@ class Store {
   [[nodiscard]] obs::Registry& registry() { return registry_; }
   [[nodiscard]] obs::MetricsSnapshot metrics() const { return registry_.snapshot(); }
 
+  /// Liveness probe for the admin /healthz endpoint: re-reads the manifest
+  /// from disk and checks it still parses and lists at least the in-memory
+  /// segment set. Never throws — failures land in `detail`.
+  struct Health {
+    bool ok = false;
+    std::size_t segments = 0;  // manifest entries seen on disk
+    std::string detail;        // "ok" or the failure reason
+  };
+  [[nodiscard]] Health health() const;
+
  private:
   void replay_manifest();
   /// Serializes segments_ and atomically replaces MANIFEST. Caller holds mu_.

@@ -17,6 +17,17 @@ constexpr std::uint64_t kListThreshold = 16;
 
 constexpr std::string_view kHexDigits = "0123456789abcdef";
 
+const char* sync_op_name(SyncOp op) {
+  switch (op) {
+    case SyncOp::kHello: return "hello";
+    case SyncOp::kTree: return "tree";
+    case SyncOp::kList: return "list";
+    case SyncOp::kGet: return "get";
+    case SyncOp::kPut: return "put";
+  }
+  return "?";
+}
+
 std::uint64_t sum_sizes(const std::vector<std::string>& hashes,
                         const std::unordered_map<std::string, std::uint64_t>& sizes) {
   std::uint64_t total = 0;
@@ -58,14 +69,33 @@ std::optional<util::Bytes> SyncClient::rpc(SyncOp op, util::BytesView payload,
                                            SyncStats& stats) {
   if (!fd_.valid()) return std::nullopt;
   const std::uint64_t id = next_id_++;
+  // Span ids derive from the request id; the server echoes them into its
+  // own spans, so client and server sides of one rpc correlate by id.
+  const std::uint64_t span_id = trace_id_ == 0 ? 0 : id;
+  const std::int64_t wall0 = obs::wall_now_us();
   const auto frame = encode_sync_request(
-      {id, op, util::Bytes(payload.begin(), payload.end())});
+      {id, op, util::Bytes(payload.begin(), payload.end()), trace_id_,
+       span_id});
   if (!util::send_all(fd_.get(), frame, opts_.io_timeout_ms)) {
     close();
     return std::nullopt;
   }
   ++stats.rounds;
   stats.bytes_on_wire += frame.size();
+  const auto record_span = [&](std::size_t resp_bytes) {
+    if (trace_id_ == 0) return;
+    obs::TraceEvent ev;
+    ev.name = std::string("sync:") + sync_op_name(op);
+    ev.category = "sync";
+    ev.phase = 'X';
+    ev.clock = 'w';
+    ev.wall_us = wall0;
+    ev.dur_us = obs::wall_now_us() - wall0;
+    ev.trace_id = trace_id_;
+    ev.span_id = span_id;
+    ev.args_json = "\"bytes\":" + std::to_string(resp_bytes);
+    trace_events_.push_back(std::move(ev));
+  };
   for (;;) {
     if (auto body = reader_.next()) {
       stats.bytes_on_wire += serve::kFramePrefixSize + body->size();
@@ -75,6 +105,7 @@ std::optional<util::Bytes> SyncClient::rpc(SyncOp op, util::BytesView payload,
         close();
         return std::nullopt;
       }
+      record_span(resp->payload.size());
       return std::move(resp->payload);
     }
     if (reader_.error()) {

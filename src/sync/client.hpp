@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "store/merkle.hpp"
 #include "store/store.hpp"
@@ -65,6 +66,17 @@ class SyncClient {
   /// failure — the local manifest is then untouched beyond segments that
   /// already fully imported (each one valid and verified).
   [[nodiscard]] std::optional<SyncStats> pull();
+
+  /// Turns on cross-node tracing: every subsequent request carries
+  /// `trace_id` (MSY2 framing) and records a client-side wall-clock span
+  /// per round trip into trace_events(). 0 disables.
+  void enable_tracing(std::uint64_t trace_id) { trace_id_ = trace_id; }
+  [[nodiscard]] std::uint64_t trace_id() const { return trace_id_; }
+  /// Client spans collected while tracing (one per rpc), ready for
+  /// obs::write_chrome_trace / obs::merge_chrome_traces.
+  [[nodiscard]] const std::vector<obs::TraceEvent>& trace_events() const {
+    return trace_events_;
+  }
 
  private:
   using SizeMap = std::unordered_map<std::string, std::uint64_t>;
@@ -110,6 +122,8 @@ class SyncClient {
   serve::ClientOptions opts_;
   serve::FrameReader reader_{kMaxSyncFrameBody};
   std::uint64_t next_id_ = 1;
+  std::uint64_t trace_id_ = 0;
+  std::vector<obs::TraceEvent> trace_events_;
 };
 
 }  // namespace malnet::sync

@@ -1,5 +1,6 @@
 #include "sync/session.hpp"
 
+#include <chrono>
 #include <exception>
 #include <string>
 
@@ -9,6 +10,17 @@
 namespace malnet::sync {
 
 namespace {
+
+const char* op_name(SyncOp op) {
+  switch (op) {
+    case SyncOp::kHello: return "hello";
+    case SyncOp::kTree: return "tree";
+    case SyncOp::kList: return "list";
+    case SyncOp::kGet: return "get";
+    case SyncOp::kPut: return "put";
+  }
+  return "?";
+}
 
 util::Bytes ok(std::uint64_t id, SyncOp op, util::Bytes payload) {
   return encode_sync_response({id, SyncStatus::kOk, op, std::move(payload)});
@@ -49,10 +61,37 @@ SessionHandler::SessionHandler(store::Store& store, obs::Registry& registry)
       segments_imported_(&registry.counter("sync.segments_imported")),
       puts_rejected_(&registry.counter("sync.puts_rejected")) {}
 
-std::optional<util::Bytes> SessionHandler::handle(util::BytesView body) {
+void SessionHandler::configure_slow_log(std::size_t capacity,
+                                        std::int64_t threshold_us) {
+  slow_.configure(capacity, threshold_us);
+}
+
+std::optional<util::Bytes> SessionHandler::handle(util::BytesView body,
+                                                  std::string_view peer) {
   const auto req = decode_sync_request(body);
   if (!req) return std::nullopt;
   requests_->inc();
+  const std::int64_t wall0 = obs::wall_now_us();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto resp = dispatch(*req);
+  const std::int64_t us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  const std::uint64_t bytes = resp ? resp->size() : 0;
+  slow_.record({std::string("sync:") + op_name(req->op), std::string(peer), us,
+                bytes, req->trace_id, req->span_id, wall0});
+  if (spans_ != nullptr && req->trace_id != 0 && spans_->enabled()) {
+    spans_->span(std::string("serve:sync:") + op_name(req->op), "sync", wall0,
+                 us, req->trace_id, req->span_id,
+                 "\"bytes\":" + std::to_string(bytes) + ",\"peer\":\"" +
+                     obs::json_escape(std::string(peer)) + '"');
+  }
+  return resp;
+}
+
+std::optional<util::Bytes> SessionHandler::dispatch(const SyncRequest& in) {
+  const auto* req = &in;
   switch (req->op) {
     case SyncOp::kHello: {
       if (!req->payload.empty()) {

@@ -16,8 +16,11 @@
 #pragma once
 
 #include <optional>
+#include <string_view>
 
 #include "obs/metrics.hpp"
+#include "obs/slowlog.hpp"
+#include "obs/trace.hpp"
 #include "store/store.hpp"
 #include "sync/wire.hpp"
 
@@ -29,17 +32,32 @@ class SessionHandler {
  public:
   SessionHandler(store::Store& store, obs::Registry& registry);
 
-  /// Answers one MSY1 frame body with a complete MSP1 response frame
+  /// Sync ops at or above `threshold_us` land in the handler's slow log
+  /// (default: 10ms, capacity 32 — mirrors the serve layer).
+  void configure_slow_log(std::size_t capacity, std::int64_t threshold_us);
+  [[nodiscard]] const obs::SlowLog& slow_log() const { return slow_; }
+
+  /// Traced requests (MSY2) record wall-clock server spans here when set.
+  void set_span_recorder(obs::SpanRecorder* spans) { spans_ = spans; }
+
+  /// Answers one MSY1/MSY2 frame body with a complete MSP1 response frame
   /// (length prefix included). Nullopt = not a decodable sync request;
-  /// the caller should treat the connection as broken.
-  [[nodiscard]] std::optional<util::Bytes> handle(util::BytesView body);
+  /// the caller should treat the connection as broken. `peer` (when known)
+  /// is recorded in slow-log entries.
+  [[nodiscard]] std::optional<util::Bytes> handle(util::BytesView body,
+                                                 std::string_view peer = {});
 
  private:
+  /// Op-specific handling; handle() wraps this with timing/slow-log/spans.
+  [[nodiscard]] std::optional<util::Bytes> dispatch(const SyncRequest& in);
+
   store::Store& store_;
   obs::Counter* requests_;
   obs::Counter* segments_served_;
   obs::Counter* segments_imported_;
   obs::Counter* puts_rejected_;
+  obs::SlowLog slow_;
+  obs::SpanRecorder* spans_ = nullptr;
 };
 
 }  // namespace malnet::sync

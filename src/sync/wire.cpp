@@ -23,9 +23,14 @@ bool valid_set_hash(const std::string& h) {
 
 util::Bytes encode_sync_request(const SyncRequest& req) {
   util::ByteWriter body;
-  body.u32(kSyncRequestMagic);
+  const bool traced = req.trace_id != 0 || req.span_id != 0;
+  body.u32(traced ? kSyncRequestMagicV2 : kSyncRequestMagic);
   body.u64(req.id);
   body.u8(static_cast<std::uint8_t>(req.op));
+  if (traced) {
+    body.u64(req.trace_id);
+    body.u64(req.span_id);
+  }
   body.raw(req.payload);
   return frame(body);
 }
@@ -45,12 +50,20 @@ std::optional<SyncRequest> decode_sync_request(util::BytesView body) {
     return std::nullopt;
   }
   util::ByteReader r(body);
-  if (r.u32() != kSyncRequestMagic) return std::nullopt;
+  const auto magic = r.u32();
+  if (magic != kSyncRequestMagic && magic != kSyncRequestMagicV2) {
+    return std::nullopt;
+  }
   SyncRequest req;
   req.id = r.u64();
   const auto op = r.u8();
   if (!valid_op(op)) return std::nullopt;
   req.op = static_cast<SyncOp>(op);
+  if (magic == kSyncRequestMagicV2) {
+    if (body.size() < kSyncRequestHeaderSizeV2) return std::nullopt;
+    req.trace_id = r.u64();
+    req.span_id = r.u64();
+  }
   req.payload = r.raw(r.remaining());
   return req;
 }

@@ -7,7 +7,13 @@
 //
 //   frame    := u32 body_len (big-endian) || body       body_len <= 64 MiB
 //   request  := u32 magic "MSY1" || u64 id || u8 op || op payload
+//   traced   := u32 magic "MSY2" || u64 id || u8 op || u64 trace_id
+//               || u64 span_id || op payload
 //   response := u32 magic "MSP1" || u64 id || u8 status || u8 op || payload
+//
+// MSY2 mirrors the serve layer's MQR2 tracing extension: emitted only when
+// a trace id is set (untraced syncs stay byte-identical MSY1), accepted
+// alongside MSY1 by the session handler.
 //
 //   op 0 HELLO  payload: empty            -> node summary of the root
 //   op 1 TREE   payload: lp16 hex prefix  -> node summary at that prefix
@@ -36,12 +42,15 @@
 
 namespace malnet::sync {
 
-inline constexpr std::uint32_t kSyncRequestMagic = 0x4D535931;   // "MSY1"
-inline constexpr std::uint32_t kSyncResponseMagic = 0x4D535031;  // "MSP1"
+inline constexpr std::uint32_t kSyncRequestMagic = 0x4D535931;    // "MSY1"
+inline constexpr std::uint32_t kSyncRequestMagicV2 = 0x4D535932;  // "MSY2"
+inline constexpr std::uint32_t kSyncResponseMagic = 0x4D535031;   // "MSP1"
 /// Upper bound on a sync frame body — must fit a whole segment (PUT/GET).
 inline constexpr std::size_t kMaxSyncFrameBody = 64u << 20;
 /// Fixed part of a request body (magic + id + op).
 inline constexpr std::size_t kSyncRequestHeaderSize = 4 + 8 + 1;
+/// Fixed part of a traced (MSY2) request body (+ trace id + span id).
+inline constexpr std::size_t kSyncRequestHeaderSizeV2 = 4 + 8 + 1 + 8 + 8;
 /// Fixed part of a response body (magic + id + status + op).
 inline constexpr std::size_t kSyncResponseHeaderSize = 4 + 8 + 1 + 1;
 
@@ -59,6 +68,9 @@ struct SyncRequest {
   std::uint64_t id = 0;
   SyncOp op = SyncOp::kHello;
   util::Bytes payload;  // op-specific, encoded per the schemes above
+  /// Cross-node tracing (DESIGN.md §15). Both zero = untraced (V1 frame).
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 
   friend bool operator==(const SyncRequest&, const SyncRequest&) = default;
 };

@@ -151,6 +151,20 @@ int recv_some(int fd, std::uint8_t* buf, std::size_t n, int timeout_ms) {
   }
 }
 
+std::string peer_address(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0 ||
+      addr.sin_family != AF_INET) {
+    return "?";
+  }
+  char host[INET_ADDRSTRLEN] = {0};
+  if (::inet_ntop(AF_INET, &addr.sin_addr, host, sizeof(host)) == nullptr) {
+    return "?";
+  }
+  return std::string(host) + ':' + std::to_string(ntohs(addr.sin_port));
+}
+
 std::optional<std::pair<std::string, std::uint16_t>> parse_listen_spec(
     std::string_view spec) {
   std::string host = "127.0.0.1";

@@ -70,6 +70,10 @@ void set_nonblocking(int fd, bool nonblocking);
 [[nodiscard]] int recv_some(int fd, std::uint8_t* buf, std::size_t n,
                             int timeout_ms);
 
+/// "ip:port" of the connected peer, or "?" when the socket has none (the
+/// admin/status pages tolerate the unknown case rather than erroring).
+[[nodiscard]] std::string peer_address(int fd);
+
 /// "host:port" or bare "port" (host defaults to 127.0.0.1). Nullopt on a
 /// malformed port.
 [[nodiscard]] std::optional<std::pair<std::string, std::uint16_t>>

@@ -13,6 +13,8 @@
 #include "core/pipeline.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/slowlog.hpp"
+#include "obs/window.hpp"
 #include "sim/scheduler.hpp"
 
 using namespace malnet;
@@ -392,4 +394,294 @@ TEST(ObsStudy, ProfileAttributesTheEventLoop) {
   EXPECT_EQ(prof[Phase::kSandbox].ops, results.sandbox_runs);
   EXPECT_GT(prof[Phase::kCollect].entries, 0u);
   EXPECT_GT(prof.total_wall_ns(), 0u);
+}
+
+// --- quantile estimation (DESIGN.md §15) -------------------------------------
+
+TEST(Quantile, EmptyHistogramHasNoQuantile) {
+  HistogramSnapshot h;
+  h.bounds = {10, 100};
+  h.counts = {0, 0, 0};
+  EXPECT_FALSE(h.quantile(0.5).has_value());
+
+  MetricsSnapshot snap;
+  snap.histograms["h"] = h;
+  EXPECT_FALSE(snap.quantile("h", 0.5).has_value());
+  EXPECT_FALSE(snap.quantile("no-such-histogram", 0.5).has_value());
+}
+
+TEST(Quantile, SingleBucketInterpolatesLinearly) {
+  // All 100 observations in (0, 100]: the q-quantile is q * 100.
+  HistogramSnapshot h;
+  h.bounds = {100};
+  h.counts = {100, 0};
+  h.count = 100;
+  ASSERT_TRUE(h.quantile(0.5).has_value());
+  EXPECT_NEAR(*h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(*h.quantile(0.99), 99.0, 1.0);
+  // Clamped q never leaves the bucket range.
+  EXPECT_GE(*h.quantile(-1.0), 0.0);
+  EXPECT_LE(*h.quantile(2.0), 100.0);
+}
+
+TEST(Quantile, OverflowBucketClampsToLastFiniteBound) {
+  HistogramSnapshot h;
+  h.bounds = {10, 100};
+  h.counts = {1, 1, 98};  // nearly everything above the last bound
+  h.count = 100;
+  EXPECT_EQ(*h.quantile(0.99), 100.0);
+  // The rank inside a finite bucket still interpolates.
+  EXPECT_LE(*h.quantile(0.01), 10.0);
+}
+
+TEST(Quantile, MedianCrossesBuckets) {
+  Histogram h({10, 20, 40});
+  for (int i = 0; i < 10; ++i) h.record(5);    // (0,10]
+  for (int i = 0; i < 10; ++i) h.record(15);   // (10,20]
+  for (int i = 0; i < 10; ++i) h.record(35);   // (20,40]
+  Registry reg;
+  auto& rh = reg.histogram("lat", {10, 20, 40});
+  for (int i = 0; i < 10; ++i) rh.record(5);
+  for (int i = 0; i < 10; ++i) rh.record(15);
+  for (int i = 0; i < 10; ++i) rh.record(35);
+  const auto snap = reg.snapshot();
+  const auto q50 = snap.quantile("lat", 0.5);
+  ASSERT_TRUE(q50.has_value());
+  EXPECT_GT(*q50, 10.0);
+  EXPECT_LE(*q50, 20.0);
+  const auto q99 = snap.quantile("lat", 0.99);
+  ASSERT_TRUE(q99.has_value());
+  EXPECT_GT(*q99, 20.0);
+  EXPECT_LE(*q99, 40.0);
+}
+
+// --- registry namespaces (collision-shadowing regression) --------------------
+
+TEST(Metrics, NamespaceRejectsForeignNames) {
+  Registry reg;
+  reg.set_namespace("store.");
+  EXPECT_EQ(reg.name_namespace(), "store.");
+  (void)reg.counter("store.queries");  // fine
+  EXPECT_THROW((void)reg.counter("serve.requests"), std::invalid_argument);
+  EXPECT_THROW((void)reg.gauge("requests"), std::invalid_argument);
+  EXPECT_THROW((void)reg.histogram("sync.lat", {1}), std::invalid_argument);
+}
+
+TEST(Metrics, NamespaceValidatesExistingInstruments) {
+  Registry reg;
+  (void)reg.counter("serve.requests");
+  // Claiming a namespace the existing names violate must throw — this is
+  // the guard against two registries merging colliding families.
+  EXPECT_THROW(reg.set_namespace("store."), std::invalid_argument);
+  reg.set_namespace("serve.");  // consistent claim succeeds
+  (void)reg.counter("serve.bytes_tx");
+}
+
+TEST(Metrics, NamespacedRegistriesMergeWithoutShadowing) {
+  Registry store_reg, serve_reg;
+  store_reg.set_namespace("store.");
+  serve_reg.set_namespace("serve.");
+  store_reg.counter("store.queries").inc(3);
+  serve_reg.counter("serve.requests").inc(5);
+  auto merged = store_reg.snapshot();
+  merged.merge(serve_reg.snapshot());
+  EXPECT_EQ(merged.counters.at("store.queries"), 3u);
+  EXPECT_EQ(merged.counters.at("serve.requests"), 5u);
+}
+
+// --- windowed aggregation ----------------------------------------------------
+
+namespace {
+
+MetricsSnapshot counter_snap(std::uint64_t requests) {
+  MetricsSnapshot s;
+  s.counters["serve.requests"] = requests;
+  s.gauges["serve.connections_active"] = static_cast<std::int64_t>(requests / 10);
+  return s;
+}
+
+}  // namespace
+
+TEST(SnapshotRing, WindowNeedsTwoSamples) {
+  SnapshotRing ring;
+  EXPECT_FALSE(ring.window(1'000'000).has_value());
+  ring.push(1'000'000, counter_snap(10));
+  EXPECT_FALSE(ring.window(1'000'000).has_value());
+}
+
+TEST(SnapshotRing, WindowDeltasAndGaugeLevels) {
+  SnapshotRing ring;
+  ring.push(1'000'000, counter_snap(10));
+  ring.push(2'000'000, counter_snap(30));
+  ring.push(3'000'000, counter_snap(60));
+  const auto w = ring.window(2'000'000);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->seconds, 2.0);
+  EXPECT_EQ(w->delta.counters.at("serve.requests"), 50u);  // 60 - 10
+  // Gauges are levels, not rates: the newest value wins.
+  EXPECT_EQ(w->delta.gauges.at("serve.connections_active"), 6);
+  // A shorter window uses the closest covering sample.
+  const auto w1 = ring.window(1'000'000);
+  ASSERT_TRUE(w1.has_value());
+  EXPECT_EQ(w1->delta.counters.at("serve.requests"), 30u);  // 60 - 30
+}
+
+TEST(SnapshotRing, ClampsRegressionsAndDropsStaleSamples) {
+  SnapshotRing ring;
+  ring.push(2'000'000, counter_snap(100));
+  ring.push(1'000'000, counter_snap(999));  // stale timestamp: dropped
+  ring.push(3'000'000, counter_snap(40));   // counter went backwards
+  const auto w = ring.window(10'000'000);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->delta.counters.at("serve.requests"), 0u);  // clamped, no wrap
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(SnapshotRing, BoundedCapacityEvictsOldest) {
+  SnapshotRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.push(i * 1'000'000, counter_snap(static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  const auto w = ring.window(60'000'000);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(w->seconds, 3.0);  // only the retained span
+}
+
+// --- slow-request log --------------------------------------------------------
+
+namespace {
+
+SlowEntry slow_entry(std::int64_t latency_us, std::string op = "query:totals") {
+  SlowEntry e;
+  e.op = std::move(op);
+  e.peer = "127.0.0.1:9";
+  e.latency_us = latency_us;
+  e.bytes = 42;
+  return e;
+}
+
+}  // namespace
+
+TEST(SlowLog, ThresholdGatesAndCapacityKeepsSlowest) {
+  SlowLog log(/*capacity=*/3, /*threshold_us=*/100);
+  log.record(slow_entry(50));  // below threshold: ignored
+  EXPECT_EQ(log.seen(), 0u);
+  for (const auto lat : {100, 300, 200, 900, 150}) log.record(slow_entry(lat));
+  EXPECT_EQ(log.seen(), 5u);
+  const auto entries = log.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].latency_us, 900);
+  EXPECT_EQ(entries[1].latency_us, 300);
+  EXPECT_EQ(entries[2].latency_us, 200);
+}
+
+TEST(SlowLog, ReconfigureShrinksAndRethresholds) {
+  SlowLog log(8, 0);
+  for (int i = 1; i <= 8; ++i) log.record(slow_entry(i * 10));
+  log.configure(/*capacity=*/2, /*threshold_us=*/1'000);
+  const auto entries = log.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].latency_us, 80);
+  EXPECT_EQ(entries[1].latency_us, 70);
+  log.record(slow_entry(500));  // now below the raised threshold
+  EXPECT_EQ(log.entries().size(), 2u);
+  EXPECT_EQ(log.threshold_us(), 1'000);
+}
+
+TEST(SlowLog, RenderTextCarriesTraceIds) {
+  SlowLog log(4, 0);
+  auto traced = slow_entry(123, "sync:put");
+  traced.trace_id = 0xABCD;
+  traced.span_id = 2;
+  log.record(traced);
+  log.record(slow_entry(50));
+  const auto text = log.render_text();
+  EXPECT_NE(text.find("slowlog threshold_us=0 seen=2 retained=2"),
+            std::string::npos);
+  EXPECT_NE(text.find("op=sync:put"), std::string::npos);
+  EXPECT_NE(text.find("trace=0x000000000000abcd"), std::string::npos);
+  EXPECT_NE(text.find("trace=-"), std::string::npos);
+}
+
+// --- json writer -------------------------------------------------------------
+
+TEST(Json, WriteRoundTripsDeterministically) {
+  const std::string doc =
+      R"({"b":[1,2.5,true,null],"a":{"nested":"va\"l\nue"},"big":123456789012})";
+  const auto parsed = json::parse(doc);
+  ASSERT_TRUE(parsed.has_value());
+  const auto once = json::write(*parsed);
+  const auto reparsed = json::parse(once);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(json::write(*reparsed), once);  // fixed point
+  // Keys are sorted, integral doubles have no fraction.
+  EXPECT_EQ(once.find("\"a\""), 1u);
+  EXPECT_NE(once.find("123456789012"), std::string::npos);
+  EXPECT_EQ(once.find("123456789012.0"), std::string::npos);
+}
+
+// --- wall-clock spans and cross-node trace merging ---------------------------
+
+TEST(Trace, WallCompleteRecordsWallSpan) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const auto start = wall_now_us();
+  tracer.wall_complete("op", "serve", start - 1'000, "\"bytes\":7");
+  ASSERT_EQ(tracer.events().size(), 1u);
+  const auto& ev = tracer.events()[0];
+  EXPECT_EQ(ev.phase, 'X');
+  EXPECT_EQ(ev.clock, 'w');
+  EXPECT_GE(ev.dur_us, 1'000);
+  EXPECT_EQ(ev.wall_us, start - 1'000);
+}
+
+TEST(Trace, SpanRecorderIsDisabledByDefaultAndBounded) {
+  SpanRecorder rec(2);
+  rec.span("a", "serve", 0, 1, 1, 1);
+  EXPECT_TRUE(rec.snapshot().empty());  // disabled: no-op
+  rec.set_enabled(true);
+  for (int i = 0; i < 5; ++i) rec.span("a", "serve", i, 1, 7, 1);
+  EXPECT_EQ(rec.snapshot().size(), 2u);
+  EXPECT_EQ(rec.dropped(), 3u);
+  EXPECT_EQ(rec.snapshot()[0].trace_id, 7u);
+}
+
+TEST(Trace, MergeChromeTracesStampsPidsAndProcessNames) {
+  SpanRecorder client(16), server(16);
+  client.set_enabled(true);
+  server.set_enabled(true);
+  client.span("sync:put", "sync", 1'000, 500, 0xBEEF, 1, "\"bytes\":9");
+  server.span("serve:sync:put", "sync", 1'100, 300, 0xBEEF, 1);
+  const auto merged = merge_chrome_traces(
+      {{"sync-client", chrome_trace_json(client.snapshot())},
+       {"serve", chrome_trace_json(server.snapshot())}});
+  ASSERT_TRUE(merged.has_value());
+  const auto doc = json::parse(*merged);
+  ASSERT_TRUE(doc.has_value());
+  const auto* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int metadata = 0, spans_seen = 0;
+  for (const auto& ev : events->array) {
+    const auto* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "M") {
+      ++metadata;
+      continue;
+    }
+    ++spans_seen;
+    const auto* pid = ev.find("pid");
+    ASSERT_NE(pid, nullptr);
+    EXPECT_TRUE(pid->number == 0.0 || pid->number == 1.0);
+    const auto* trace = ev.at_path("args.trace");
+    ASSERT_NE(trace, nullptr);
+    EXPECT_EQ(trace->str, "0x000000000000beef");
+  }
+  EXPECT_EQ(metadata, 2);
+  EXPECT_EQ(spans_seen, 2);
+}
+
+TEST(Trace, MergeChromeTracesRejectsMalformedDocuments) {
+  EXPECT_FALSE(merge_chrome_traces({{"a", "not json"}}).has_value());
+  EXPECT_FALSE(merge_chrome_traces({{"a", "{\"no\":\"events\"}"}}).has_value());
 }

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
@@ -383,4 +384,112 @@ TEST(Serve, ClientRetriesConnectWithBackoff) {
   const auto elapsed = std::chrono::steady_clock::now() - t0;
   EXPECT_LT(elapsed, std::chrono::seconds(5));
   EXPECT_FALSE(client.connected());
+}
+
+// --- tracing wire extension and the introspection hooks (ISSUE 8) -----------
+
+TEST(Wire, TracedRequestRoundTripAndBackwardCompat) {
+  // Untraced requests still emit the V1 magic — byte-for-byte what an old
+  // client produces, so old servers never see MQR2.
+  const serve::Request untraced{9, "totals"};
+  const auto v1 = serve::encode_request(untraced);
+  ASSERT_GE(v1.size(), serve::kFramePrefixSize + 4);
+  EXPECT_EQ(v1[4], 'M');
+  EXPECT_EQ(v1[5], 'Q');
+  EXPECT_EQ(v1[6], 'R');
+  EXPECT_EQ(v1[7], '1');
+
+  const serve::Request traced{9, "totals", 0xDEADBEEF, 42};
+  const auto v2 = serve::encode_request(traced);
+  EXPECT_EQ(v2[7], '2');
+  EXPECT_EQ(v2.size(), v1.size() + 16);  // two extra u64 fields
+  serve::FrameReader reader;
+  reader.feed(v2);
+  const auto body = reader.next();
+  ASSERT_TRUE(body.has_value());
+  const auto decoded = serve::decode_request(*body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, traced);
+  // A V2 body truncated into the fixed header is rejected, not misread.
+  const auto short_v2 =
+      util::Bytes(body->begin(), body->begin() + serve::kRequestHeaderSizeV2 - 1);
+  EXPECT_FALSE(serve::decode_request(util::BytesView{short_v2}).has_value());
+}
+
+TEST(Serve, TracedRequestsProduceServerSpans) {
+  obs::SpanRecorder spans;
+  spans.set_enabled(true);
+  serve::ServeConfig cfg;
+  cfg.spans = &spans;
+  TestServer ts(cfg);
+  serve::Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", ts.port()));
+  // Untraced first: no span recorded.
+  ASSERT_TRUE(client.query("totals").has_value());
+  EXPECT_TRUE(spans.snapshot().empty());
+
+  client.set_trace(0x1234);
+  EXPECT_EQ(client.trace_id(), 0x1234u);
+  ASSERT_TRUE(client.query("families").has_value());
+  const auto recorded = spans.snapshot();
+  ASSERT_EQ(recorded.size(), 1u);
+  EXPECT_EQ(recorded[0].trace_id, 0x1234u);
+  EXPECT_EQ(recorded[0].span_id, client.last_span_id());
+  EXPECT_EQ(recorded[0].name, "serve:families");
+  EXPECT_EQ(recorded[0].category, "serve");
+  EXPECT_EQ(recorded[0].clock, 'w');
+  ts.server->stop();
+}
+
+TEST(Serve, SlowLogCapturesQueriesAboveThreshold) {
+  serve::ServeConfig cfg;
+  cfg.slow_threshold_us = 0;  // everything is "slow": deterministic capture
+  TestServer ts(cfg);
+  serve::Client client;
+  client.set_trace(0xF00D);
+  ASSERT_TRUE(client.connect("127.0.0.1", ts.port()));
+  ASSERT_TRUE(client.query("totals").has_value());
+  ASSERT_TRUE(client.query("families").has_value());
+  ts.server->stop();
+
+  const auto& log = ts.server->slow_log();
+  EXPECT_EQ(log.seen(), 2u);
+  const auto entries = log.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  bool saw_totals = false;
+  for (const auto& e : entries) {
+    EXPECT_EQ(e.op.rfind("query:", 0), 0u);
+    EXPECT_EQ(e.trace_id, 0xF00Du);
+    EXPECT_GT(e.bytes, 0u);
+    EXPECT_NE(e.peer.find("127.0.0.1:"), std::string::npos);
+    saw_totals = saw_totals || e.op == "query:totals";
+  }
+  EXPECT_TRUE(saw_totals);
+  // The text rendering (the /slowz body) lists both.
+  EXPECT_NE(log.render_text().find("op=query:families"), std::string::npos);
+}
+
+TEST(Serve, ConnectionTableTracksLivePeers) {
+  TestServer ts;
+  EXPECT_FALSE(ts.server->draining());
+  serve::Client a, b;
+  ASSERT_TRUE(a.connect("127.0.0.1", ts.port()));
+  ASSERT_TRUE(b.connect("127.0.0.1", ts.port()));
+  ASSERT_TRUE(a.query("totals").has_value());
+  ASSERT_TRUE(b.query("totals").has_value());
+  // The table refreshes once per poll tick; wait for it to see both.
+  std::vector<serve::ConnectionInfo> conns;
+  for (int i = 0; i < 100; ++i) {
+    conns = ts.server->connections();
+    if (conns.size() >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_GE(conns.size(), 2u);
+  for (const auto& conn : conns) {
+    EXPECT_NE(conn.peer.find("127.0.0.1:"), std::string::npos);
+    EXPECT_FALSE(conn.paused);
+  }
+  ts.server->stop();
+  EXPECT_TRUE(ts.server->draining());
+  EXPECT_TRUE(ts.server->connections().empty());
 }

@@ -410,3 +410,40 @@ TEST(DatasetIo, SaveDatasetsReplacesAtomically) {
         << entry.path();
   }
 }
+
+// --- health probe (the /healthz backing, ISSUE 8) ---------------------------
+
+TEST(Store, HealthReportsOkOnAValidStore) {
+  const auto dir = fresh_dir("health_ok");
+  Store st(dir);
+  auto h = st.health();
+  EXPECT_TRUE(h.ok) << h.detail;
+  EXPECT_EQ(h.segments, 0u);
+
+  const auto results = core::ParallelStudy(study_config(7, 20, 1, 1)).run();
+  (void)st.commit(results, SegmentKind::kIngest, 0, 0, 1, 7);
+  h = st.health();
+  EXPECT_TRUE(h.ok) << h.detail;
+  EXPECT_EQ(h.segments, 1u);
+  EXPECT_EQ(h.detail, "ok");
+}
+
+TEST(Store, HealthDetectsManifestDamageWhileServing) {
+  const auto dir = fresh_dir("health_bad");
+  Store st(dir);
+  const auto results = core::ParallelStudy(study_config(7, 20, 1, 1)).run();
+  (void)st.commit(results, SegmentKind::kIngest, 0, 0, 1, 7);
+  ASSERT_TRUE(st.health().ok);
+
+  // Damage the on-disk manifest under the open handle — what /healthz has
+  // to catch on a live server without crashing it.
+  std::ofstream(dir + "/MANIFEST") << "not a manifest\n";
+  const auto h = st.health();
+  EXPECT_FALSE(h.ok);
+  EXPECT_FALSE(h.detail.empty());
+  EXPECT_NE(h.detail, "ok");
+
+  std::error_code ec;
+  fs::remove(dir + "/MANIFEST", ec);
+  EXPECT_FALSE(st.health().ok);  // missing manifest is unhealthy too
+}

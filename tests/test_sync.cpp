@@ -23,12 +23,15 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/parallel_study.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "fault/fault.hpp"
 #include "serve/server.hpp"
 #include "serve/wire.hpp"
@@ -159,8 +162,9 @@ struct SyncServer {
     cfg.host = "127.0.0.1";
     cfg.port = 0;
     if (cfg.io_threads == 0) cfg.io_threads = 2;
-    cfg.aux_handler = [h = handler.get()](util::BytesView body) {
-      return h->handle(body);
+    cfg.aux_handler = [h = handler.get()](util::BytesView body,
+                                          const serve::AuxContext& ctx) {
+      return h->handle(body, ctx.peer);
     };
     cfg.max_aux_frame_body = sync::kMaxSyncFrameBody;
     server = std::make_unique<serve::Server>(*store, cfg, registry);
@@ -924,4 +928,104 @@ TEST(Sync, KilledSyncLeavesAResumableStoreThatReconverges) {
     (void)st.compact();
   }
   EXPECT_EQ(store_snapshot(dir), reference_snapshot());
+}
+
+// --- traced sync frames and session introspection (ISSUE 8) -----------------
+
+TEST(SyncWire, TracedRequestRoundTripAndBackwardCompat) {
+  // Untraced requests keep the MSY1 magic byte-for-byte.
+  const sync::SyncRequest untraced{5, sync::SyncOp::kHello,
+                                   util::to_bytes("hi")};
+  const auto v1 = sync::encode_sync_request(untraced);
+  ASSERT_GE(v1.size(), serve::kFramePrefixSize + 4);
+  EXPECT_EQ(v1[7], '1');
+
+  sync::SyncRequest traced = untraced;
+  traced.trace_id = 0xCAFE;
+  traced.span_id = 3;
+  const auto v2 = sync::encode_sync_request(traced);
+  EXPECT_EQ(v2[7], '2');
+  EXPECT_EQ(v2.size(), v1.size() + 16);
+  serve::FrameReader reader(sync::kMaxSyncFrameBody);
+  reader.feed(v2);
+  const auto body = reader.next();
+  ASSERT_TRUE(body.has_value());
+  const auto decoded = sync::decode_sync_request(*body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, traced);
+  const auto short_v2 = util::Bytes(
+      body->begin(), body->begin() + sync::kSyncRequestHeaderSizeV2 - 1);
+  EXPECT_FALSE(sync::decode_sync_request(util::BytesView{short_v2}).has_value());
+}
+
+TEST(Sync, TracedPushSharesOneTraceIdAcrossBothNodes) {
+  const auto replica = ::testing::TempDir() + "/sync_trace_replica";
+  fs::remove_all(replica);
+  obs::SpanRecorder server_spans;
+  server_spans.set_enabled(true);
+  SyncServer srv(replica);
+  srv.handler->set_span_recorder(&server_spans);
+
+  store::Store producer(producer_dirs()[0]);
+  sync::SyncClient client(producer);
+  client.enable_tracing(0xAB5012);
+  EXPECT_EQ(client.trace_id(), 0xAB5012u);
+  ASSERT_TRUE(client.connect("127.0.0.1", srv.port()));
+  const auto stats = client.push();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GT(stats->segments_sent, 0u);
+  srv.server->stop();
+
+  // Client side: one wall span per rpc, all on the one trace id, span ids
+  // unique (they are the request ids).
+  const auto& client_events = client.trace_events();
+  ASSERT_GE(client_events.size(), 2u);
+  std::set<std::uint64_t> span_ids;
+  for (const auto& ev : client_events) {
+    EXPECT_EQ(ev.trace_id, 0xAB5012u);
+    EXPECT_EQ(ev.clock, 'w');
+    EXPECT_EQ(ev.phase, 'X');
+    EXPECT_EQ(ev.category, "sync");
+    span_ids.insert(ev.span_id);
+  }
+  EXPECT_EQ(span_ids.size(), client_events.size());
+
+  // Server side: a matching span per rpc, sharing the trace AND span ids —
+  // what makes the merged Chrome trace line up per request.
+  const auto server_events = server_spans.snapshot();
+  ASSERT_EQ(server_events.size(), client_events.size());
+  for (const auto& ev : server_events) {
+    EXPECT_EQ(ev.trace_id, 0xAB5012u);
+    EXPECT_EQ(ev.name.rfind("serve:sync:", 0), 0u);
+    EXPECT_TRUE(span_ids.count(ev.span_id)) << ev.span_id;
+  }
+
+  // And the two sides merge into one parseable Chrome trace document.
+  const auto merged = obs::merge_chrome_traces(
+      {{"sync-client", obs::chrome_trace_json(client_events)},
+       {"serve", obs::chrome_trace_json(server_events)}});
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_TRUE(obs::json::parse(*merged).has_value());
+}
+
+TEST(Sync, SessionSlowLogRecordsOpsWithPeer) {
+  const auto replica = ::testing::TempDir() + "/sync_slowlog_replica";
+  fs::remove_all(replica);
+  SyncServer srv(replica);
+  srv.handler->configure_slow_log(/*capacity=*/8, /*threshold_us=*/0);
+
+  ASSERT_TRUE(push_store(producer_dirs()[0], srv.port()).has_value());
+  srv.server->stop();
+
+  const auto& log = srv.handler->slow_log();
+  EXPECT_GT(log.seen(), 0u);
+  const auto entries = log.entries();
+  ASSERT_FALSE(entries.empty());
+  bool saw_put = false;
+  for (const auto& e : entries) {
+    EXPECT_EQ(e.op.rfind("sync:", 0), 0u);
+    EXPECT_NE(e.peer.find("127.0.0.1:"), std::string::npos);
+    saw_put = saw_put || e.op == "sync:put";
+  }
+  EXPECT_TRUE(saw_put);
 }

@@ -20,8 +20,12 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "asdb/asdb.hpp"
 #include "core/c2detect.hpp"
@@ -40,6 +44,10 @@
 #include "report/figures.hpp"
 #include "report/rules_export.hpp"
 #include "report/tables.hpp"
+#include "obs/expo.hpp"
+#include "obs/slowlog.hpp"
+#include "obs/window.hpp"
+#include "serve/admin.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "store/query.hpp"
@@ -92,17 +100,25 @@ using namespace malnet;
       "  serve --store <dir>   (answer query lines from stdin until EOF/quit)\n"
       "  serve --store <dir> --listen [host:]port [--io-threads N]\n"
       "        [--idle-timeout-ms N] [--metrics-out <m.json>] [--allow-sync]\n"
+      "        [--admin [host:]port] [--slow-threshold-us N]\n"
       "        (concurrent TCP query server; port 0 picks an ephemeral port,\n"
       "         printed on the 'serving on' line. SIGTERM/SIGINT drains:\n"
       "         in-flight requests are answered, then the process exits 0.\n"
       "         --allow-sync additionally accepts sync push/pull sessions on\n"
-      "         the same port — replicas replicate, queries keep answering.)\n"
+      "         the same port — replicas replicate, queries keep answering.\n"
+      "         --admin starts the HTTP introspection endpoint (/metrics,\n"
+      "         /healthz, /statusz, /slowz, /tracez), reported on the\n"
+      "         'admin on' line; --slow-threshold-us tunes the slow log.)\n"
       "  sync (push|pull) --store <dir> --connect <host:port>\n"
-      "        [--metrics-out <m.json>]\n"
+      "        [--metrics-out <m.json>] [--trace-out <t.json>\n"
+      "        [--admin <host:port>]]\n"
       "        (replicate content-hashed segments against a sync-enabled\n"
       "         server: push sends segments the server lacks, pull fetches\n"
       "         segments the local store lacks. Hash-tree refinement means a\n"
-      "         re-sync of identical stores transfers nothing.)\n"
+      "         re-sync of identical stores transfers nothing. --trace-out\n"
+      "         writes a Chrome trace of the sync's rpcs; with --admin\n"
+      "         pointing at the server's admin endpoint the file also\n"
+      "         contains the server-side spans, one shared trace id.)\n"
       "  report <file.mds>   (re-render tables from a saved dataset artifact)\n"
       "  dossier <file.mds> <c2-address|sample-sha>\n"
       "  digest <file.mds> [--week N]\n"
@@ -476,16 +492,31 @@ int cmd_serve(const Args& args) {
   if (args.has("idle-timeout-ms")) {
     cfg.idle_timeout_ms = std::stoi(args.get("idle-timeout-ms"));
   }
+  if (args.has("slow-threshold-us")) {
+    cfg.slow_threshold_us = std::stoll(args.get("slow-threshold-us"));
+  }
 
   obs::Registry registry;
+  // Admin-plane state has to outlive the server: cfg.spans is read by the
+  // I/O threads, and the ring/handlers by the admin thread.
+  std::optional<obs::SpanRecorder> spans;
+  if (args.has("admin")) {
+    spans.emplace();
+    spans->set_enabled(true);
+    cfg.spans = &*spans;
+  }
   // With --allow-sync the same port also speaks the MSY1 replication
   // protocol: bodies the query codec rejects are routed to the sync
   // session handler, which imports/serves segments against this store.
   std::optional<sync::SessionHandler> sync_handler;
   if (args.has("allow-sync")) {
     sync_handler.emplace(st, registry);
-    cfg.aux_handler = [&sync_handler](util::BytesView body) {
-      return sync_handler->handle(body);
+    sync_handler->configure_slow_log(cfg.slow_log_capacity,
+                                     cfg.slow_threshold_us);
+    if (cfg.spans != nullptr) sync_handler->set_span_recorder(cfg.spans);
+    cfg.aux_handler = [&sync_handler](util::BytesView body,
+                                      const serve::AuxContext& ctx) {
+      return sync_handler->handle(body, ctx.peer);
     };
     cfg.max_aux_frame_body = sync::kMaxSyncFrameBody;
   }
@@ -495,6 +526,109 @@ int cmd_serve(const Args& args) {
   std::signal(SIGTERM, serve_signal_handler);
   std::signal(SIGINT, serve_signal_handler);
 
+  // Live introspection plane (DESIGN.md §15): /metrics /healthz /statusz
+  // /slowz /tracez on a separate single-threaded HTTP endpoint; a 1 Hz
+  // tick samples merged snapshots into the ring behind the windowed rates.
+  std::optional<serve::AdminServer> admin;
+  obs::SnapshotRing ring;
+  const auto started_wall = obs::wall_now_us();
+  const auto merged_snapshot = [&registry, &st] {
+    auto m = registry.snapshot();
+    m.merge(st.metrics());
+    return m;
+  };
+  if (args.has("admin")) {
+    const auto aspec = util::parse_listen_spec(args.get("admin"));
+    if (!aspec) {
+      std::cerr << "bad --admin '" << args.get("admin")
+                << "' (want port or host:port)\n";
+      return 2;
+    }
+    serve::AdminConfig acfg;
+    acfg.host = aspec->first;
+    acfg.port = aspec->second;
+    admin.emplace(acfg, registry);
+    admin->set_tick(
+        [&ring, merged_snapshot] {
+          ring.push(obs::wall_now_us(), merged_snapshot());
+        },
+        1'000);
+    admin->handle("/metrics", [&ring, merged_snapshot] {
+      static constexpr std::pair<const char*, std::int64_t> kWindows[] = {
+          {"1s", 1'000'000}, {"10s", 10'000'000}, {"60s", 60'000'000}};
+      std::vector<obs::ExpositionWindow> windows;
+      for (const auto& [label, span_us] : kWindows) {
+        if (auto w = ring.window(span_us)) {
+          windows.emplace_back(label, std::move(*w));
+        }
+      }
+      serve::AdminResponse resp;
+      resp.body = obs::render_prometheus(merged_snapshot(), windows);
+      return resp;
+    });
+    admin->handle("/healthz", [&st, &server] {
+      const auto health = st.health();
+      const bool ok = health.ok && server.running();
+      serve::AdminResponse resp;
+      resp.status = ok ? 200 : 503;
+      resp.content_type = "text/plain; charset=utf-8";
+      resp.body = std::string(ok ? "ok" : "unhealthy") + "\n" +
+                  "store: " + (health.ok ? "ok" : "BAD") + " (" +
+                  std::to_string(health.segments) + " segment(s))" +
+                  (health.ok || health.detail.empty() ? "" : " " + health.detail) +
+                  "\n" +
+                  "acceptor: " + (server.running() ? "alive" : "down") + "\n" +
+                  "draining: " + (server.draining() ? "yes" : "no") + "\n";
+      return resp;
+    });
+    admin->handle("/statusz", [&st, &server, &args, started_wall] {
+      std::ostringstream body;
+      body << "malnetctl serve\n"
+           << "build: " <<
+#if defined(__VERSION__)
+          __VERSION__
+#else
+          "unknown compiler"
+#endif
+           << " (" << (sizeof(void*) * 8) << "-bit)\n"
+           << "uptime_s: " << (obs::wall_now_us() - started_wall) / 1'000'000
+           << "\nstore: " << args.get("store") << " ("
+           << st.segments().size() << " segment(s))\n"
+           << "draining: " << (server.draining() ? "yes" : "no") << "\n\n"
+           << "connections:\n";
+      const auto conns = server.connections();
+      if (conns.empty()) body << "  (none)\n";
+      for (const auto& conn : conns) {
+        body << "  " << conn.peer << " out_pending=" << conn.out_pending
+             << " queued=" << conn.pending_responses
+             << (conn.paused ? " PAUSED" : "")
+             << (conn.closing ? " closing" : "")
+             << " idle_ms=" << conn.idle_ms << '\n';
+      }
+      serve::AdminResponse resp;
+      resp.content_type = "text/plain; charset=utf-8";
+      resp.body = body.str();
+      return resp;
+    });
+    admin->handle("/slowz", [&server, &sync_handler] {
+      serve::AdminResponse resp;
+      resp.content_type = "text/plain; charset=utf-8";
+      resp.body = "# query plane\n" + server.slow_log().render_text();
+      if (sync_handler) {
+        resp.body += "\n# sync plane\n" + sync_handler->slow_log().render_text();
+      }
+      return resp;
+    });
+    admin->handle("/tracez", [&spans] {
+      serve::AdminResponse resp;
+      resp.content_type = "application/json; charset=utf-8";
+      resp.body = obs::chrome_trace_json(spans->snapshot());
+      return resp;
+    });
+    admin->start();
+    std::cout << "admin on " << acfg.host << ':' << admin->port() << std::endl;
+  }
+
   // The "serving on" line is the readiness signal scripts wait for (and
   // where an ephemeral --listen 0 port is reported).
   std::cout << "serving on " << cfg.host << ':' << server.port() << " ("
@@ -503,6 +637,7 @@ int cmd_serve(const Args& args) {
             << std::endl;
   server.wait();  // blocks until SIGTERM/SIGINT, then drains
   g_serve_server = nullptr;
+  if (admin) admin->stop();
 
   // Serve and store counters merged into one summary/artifact: the
   // payload_bytes_read field is the index-only-under-concurrency proof.
@@ -543,6 +678,16 @@ int cmd_sync(const Args& args) {
   store::Store st(args.get("store"));
   obs::Registry registry;
   sync::SyncClient client(st, &registry);
+  // --trace-out stamps every rpc with one trace id (MSY2 frames); the
+  // server records matching spans, and with --admin pointing at its admin
+  // endpoint both sides land in a single merged Chrome trace.
+  std::uint64_t trace_id = 0;
+  if (args.has("trace-out")) {
+    trace_id = static_cast<std::uint64_t>(obs::wall_now_us()) ^
+               (static_cast<std::uint64_t>(::getpid()) << 48);
+    if (trace_id == 0) trace_id = 1;
+    client.enable_tracing(trace_id);
+  }
   if (!client.connect(spec->first, spec->second)) {
     std::cerr << "cannot connect to " << spec->first << ':' << spec->second
               << '\n';
@@ -571,6 +716,37 @@ int cmd_sync(const Args& args) {
             << " bytes_on_wire=" << stats->bytes_on_wire
             << " bytes_saved=" << stats->bytes_saved << '\n';
   write_metrics();
+  if (args.has("trace-out")) {
+    std::vector<std::pair<std::string, std::string>> nodes;
+    nodes.emplace_back("sync-client",
+                       obs::chrome_trace_json(client.trace_events()));
+    if (args.has("admin")) {
+      const auto aspec = util::parse_listen_spec(args.get("admin"));
+      if (!aspec) {
+        std::cerr << "bad --admin '" << args.get("admin")
+                  << "' (want host:port)\n";
+        return 1;
+      }
+      const auto remote =
+          serve::admin_get(aspec->first, aspec->second, "/tracez");
+      if (!remote) {
+        std::cerr << "cannot fetch /tracez from " << args.get("admin") << '\n';
+        return 1;
+      }
+      nodes.emplace_back("serve", *remote);
+    }
+    const auto merged_trace = obs::merge_chrome_traces(nodes);
+    if (!merged_trace) {
+      std::cerr << "trace merge failed (malformed /tracez document?)\n";
+      return 1;
+    }
+    write_file(args.get("trace-out"),
+               util::BytesView{
+                   reinterpret_cast<const std::uint8_t*>(merged_trace->data()),
+                   merged_trace->size()});
+    std::cout << "trace: " << args.get("trace-out")
+              << " trace_id=" << obs::hex_id(trace_id) << '\n';
+  }
   return 0;
 }
 
