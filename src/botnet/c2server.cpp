@@ -1,24 +1,19 @@
 #include "botnet/c2server.hpp"
 
-#include "proto/daddyl33t.hpp"
-#include "proto/gafgyt.hpp"
+#include "profile/registry.hpp"
+#include "profile/wire.hpp"
 #include "proto/irc.hpp"
-#include "proto/mirai.hpp"
 #include "util/log.hpp"
 #include "util/str.hpp"
 
 namespace malnet::botnet {
 
-namespace {
-bool is_text_family(proto::Family f) {
-  return f == proto::Family::kGafgyt || f == proto::Family::kDaddyl33t ||
-         f == proto::Family::kTsunami;
-}
-}  // namespace
-
 C2Server::C2Server(sim::Network& net, C2ServerConfig cfg, util::Rng rng)
     : sim::Host(net, cfg.ip, "c2-" + proto::to_string(cfg.family)),
       cfg_(std::move(cfg)),
+      profile_(cfg_.profile != nullptr
+                   ? cfg_.profile
+                   : profile::Registry::builtin().active(cfg_.family)),
       rng_(std::move(rng)) {
   reroll_listening();
   arm_toggle();
@@ -78,7 +73,7 @@ void C2Server::on_conn_data(sim::TcpConn& conn, util::BytesView data) {
   if (it == sessions_state_.end()) return;
   Session& s = it->second;
 
-  if (!is_text_family(cfg_.family)) {
+  if (!profile_->is_text_like()) {
     handle_binary(conn, s, data);
     return;
   }
@@ -93,22 +88,21 @@ void C2Server::on_conn_data(sim::TcpConn& conn, util::BytesView data) {
 }
 
 void C2Server::handle_binary(sim::TcpConn& conn, Session& s, util::BytesView data) {
-  switch (cfg_.family) {
-    case proto::Family::kMirai: {
-      if (const auto hs = proto::mirai::decode_handshake(data)) {
+  switch (profile_->framing) {
+    case profile::Framing::kBinary: {
+      if (const auto hs = profile::wire::decode_handshake(*profile_, data)) {
         register_bot(conn, s, hs->bot_id);
-        conn.send(util::BytesView{proto::mirai::encode_keepalive()});
-      } else if (proto::mirai::is_keepalive(data)) {
-        conn.send(util::BytesView{proto::mirai::encode_keepalive()});
+        conn.send(util::BytesView{profile::wire::encode_keepalive()});
+      } else if (profile::wire::is_keepalive(data)) {
+        conn.send(util::BytesView{profile::wire::encode_keepalive()});
       }
       break;
     }
-    case proto::Family::kVpnFilter: {
+    case profile::Framing::kTlsBeacon: {
       // TLS-flavoured beacon: any client hello gets a canned server hello.
       if (!s.registered) {
-        static const util::Bytes kServerHello = util::from_hex("160303002a020000");
-        conn.send(util::BytesView{kServerHello});
-        register_bot(conn, s, "vpnfilter-node");
+        conn.send(util::BytesView{profile_->tls_server_hello});
+        register_bot(conn, s, profile_->tls_peer_id);
       }
       break;
     }
@@ -119,23 +113,16 @@ void C2Server::handle_binary(sim::TcpConn& conn, Session& s, util::BytesView dat
 
 void C2Server::handle_text_line(sim::TcpConn& conn, Session& s,
                                 const std::string& line) {
-  switch (cfg_.family) {
-    case proto::Family::kGafgyt: {
-      if (const auto arch = proto::gafgyt::decode_hello(line)) {
-        register_bot(conn, s, *arch);
-        conn.send(proto::gafgyt::encode_ping());
+  switch (profile_->framing) {
+    case profile::Framing::kText: {
+      if (const auto arg = profile::wire::decode_hello(*profile_, line)) {
+        register_bot(conn, s, *arg);
+        conn.send(profile::wire::encode_ping(*profile_));
       }
       // PONGs and unknown chatter are ignored.
       break;
     }
-    case proto::Family::kDaddyl33t: {
-      if (const auto id = proto::daddyl33t::decode_login(line)) {
-        register_bot(conn, s, *id);
-        conn.send(proto::daddyl33t::encode_ping());
-      }
-      break;
-    }
-    case proto::Family::kTsunami: {
+    case profile::Framing::kIrc: {
       const auto msg = proto::irc::parse(line);
       if (!msg) return;
       if (msg->command == "NICK" && !msg->params.empty()) {
@@ -183,38 +170,32 @@ void C2Server::schedule_attacks(sim::TcpConn& conn) {
       if (!conn_ptr->established()) return;
       proto::AttackCommand cmd = cfg_.attack_plan[i];
       cmd.family = cfg_.family;
-      switch (cfg_.family) {
-        case proto::Family::kMirai: {
-          const auto wire = proto::mirai::encode_attack(cmd);
+      switch (profile_->framing) {
+        case profile::Framing::kBinary: {
+          const auto wire = profile::wire::encode_binary_attack(*profile_, cmd);
           cmd.raw = wire;
           conn_ptr->send(util::BytesView{wire});
           break;
         }
-        case proto::Family::kGafgyt: {
-          const auto wire = proto::gafgyt::encode_attack(cmd);
+        case profile::Framing::kText: {
+          const auto wire = profile::wire::encode_text_attack(*profile_, cmd);
           cmd.raw = util::to_bytes(wire);
           conn_ptr->send(wire);
           break;
         }
-        case proto::Family::kDaddyl33t: {
-          const auto wire = proto::daddyl33t::encode_attack(cmd);
-          cmd.raw = util::to_bytes(wire);
-          conn_ptr->send(wire);
-          break;
-        }
-        case proto::Family::kTsunami: {
+        case profile::Framing::kIrc: {
           // A "new variant" (§2.5b): the command rides inside IRC PRIVMSG,
           // outside the three profiled grammars — only the behavioural
           // heuristic can recover it.
-          const auto body = proto::gafgyt::encode_attack(cmd);
+          const auto body = profile::wire::encode_text_attack(*profile_, cmd);
           const auto wire = proto::irc::privmsg(
-              "#tsunami", body.substr(0, body.size() - 1)).serialize();
+              profile_->irc_channel, body.substr(0, body.size() - 1)).serialize();
           cmd.raw = util::to_bytes(wire);
           conn_ptr->send(wire);
           break;
         }
         default:
-          return;  // P2P / VPNFilter issue no attacks in the study
+          return;  // P2P / tls-beacon servers issue no attacks in the study
       }
       issued_.push_back(IssuedCommand{now(), std::move(cmd)});
     });

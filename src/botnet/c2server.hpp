@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "profile/profile.hpp"
 #include "proto/attack.hpp"
 #include "proto/family.hpp"
 #include "sim/network.hpp"
@@ -31,6 +32,10 @@ namespace malnet::botnet {
 
 struct C2ServerConfig {
   proto::Family family = proto::Family::kMirai;
+  /// The profile whose framing/commands this server speaks. Null means the
+  /// family's builtin profile (identical to the pre-profile behaviour).
+  /// Not owned; the registry it points into must outlive the server.
+  const profile::FamilyProfile* profile = nullptr;
   net::Ipv4 ip;
   net::Port port = 23;
   std::optional<std::string> domain;  // DNS-based C2s also have a name
@@ -94,6 +99,7 @@ class C2Server : public sim::Host {
   void enter_dormancy();
 
   C2ServerConfig cfg_;
+  const profile::FamilyProfile* profile_;  // never null after construction
   util::Rng rng_;
   bool dormant_ = false;
   bool crashed_ = false;

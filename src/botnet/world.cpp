@@ -66,7 +66,11 @@ int shard_share(int value, int shards, int index) {
 }  // namespace
 
 World::World(sim::Network& net, WorldConfig cfg)
-    : net_(net), cfg_(cfg), asdb_(asdb::AsDatabase::standard()) {
+    : net_(net),
+      cfg_(cfg),
+      registry_(cfg.profiles != nullptr ? cfg.profiles
+                                        : &profile::Registry::builtin()),
+      asdb_(asdb::AsDatabase::standard()) {
   if (cfg_.total_samples <= 0) throw std::invalid_argument("World: no samples");
   if (cfg_.family_weights.size() != proto::kFamilyCount) {
     throw std::invalid_argument("World: family_weights size mismatch");
@@ -74,6 +78,19 @@ World::World(sim::Network& net, WorldConfig cfg)
   if (cfg_.shard_count < 1 || cfg_.shard_index < 0 ||
       cfg_.shard_index >= cfg_.shard_count) {
     throw std::invalid_argument("World: bad shard_count/shard_index");
+  }
+  if (!cfg_.variant_name.empty()) {
+    variant_ = registry_->by_name(cfg_.variant_name);
+    if (variant_ == nullptr) {
+      throw std::invalid_argument("World: unknown variant profile '" +
+                                  cfg_.variant_name + "'");
+    }
+    if (variant_->framing == profile::Framing::kP2p) {
+      throw std::invalid_argument("World: variant profile must be centralised");
+    }
+    if (cfg_.variant_fraction < 0.0 || cfg_.variant_fraction > 1.0) {
+      throw std::invalid_argument("World: variant_fraction out of [0,1]");
+    }
   }
   util::Rng rng(cfg_.seed, util::fnv1a64("world"));
 
@@ -157,6 +174,14 @@ void World::plan_c2_population(util::Rng& rng) {
         }
       }
       c2.cfg.family = fams[rng.weighted(std::span<const double>(fw))];
+      c2.cfg.profile = registry_->active(c2.cfg.family);
+      // Variant routing: only rolls the coin when a variant is configured,
+      // so baseline plans draw the same RNG sequence with or without
+      // loaded profiles.
+      if (variant_ != nullptr && variant_->id == c2.cfg.family &&
+          rng.chance(cfg_.variant_fraction)) {
+        c2.cfg.profile = variant_;
+      }
 
       // AS and address. Weeks 28+ see the AS-44812 / AS-139884 surge (§3.1).
       std::vector<double> as_w = top10_share;
@@ -231,12 +256,18 @@ void World::plan_attacks(util::Rng& rng) {
     proto::Family family;
     int c2s;
   };
-  // Each shard fields its near-even share of the 17-server attacker fleet.
-  const std::vector<Quota> quotas{
-      {proto::Family::kMirai, shard_share(8, cfg_.shard_count, cfg_.shard_index)},
-      {proto::Family::kGafgyt, shard_share(3, cfg_.shard_count, cfg_.shard_index)},
-      {proto::Family::kDaddyl33t,
-       shard_share(6, cfg_.shard_count, cfg_.shard_index)}};
+  // Each shard fields its near-even share of the attacker fleet. Per-family
+  // quotas come from the active profiles (builtin: Mirai 8, Gafgyt 3,
+  // Daddyl33t 6 — the paper's 17-server fleet).
+  std::vector<Quota> quotas;
+  int fleet = 0;
+  for (std::size_t fi = 0; fi < proto::kFamilyCount; ++fi) {
+    const auto family = static_cast<proto::Family>(fi);
+    const int want = registry_->active(family)->attacker_quota;
+    if (want <= 0) continue;
+    fleet += want;
+    quotas.push_back({family, shard_share(want, cfg_.shard_count, cfg_.shard_index)});
+  }
 
   // Victim pool per §5.3: ISPs 45%, hosting 36%, business the rest; VSE and
   // NFO go to gaming infrastructure.
@@ -283,7 +314,8 @@ void World::plan_attacks(util::Rng& rng) {
   // `made` drives the time-spread stride and the 3-vs-2 command plan size;
   // start it at this shard's global fleet offset so the merged command
   // total stays close to the unsharded study's (~42).
-  int made = static_cast<int>(17LL * cfg_.shard_index / cfg_.shard_count);
+  int made = static_cast<int>(static_cast<long long>(fleet) * cfg_.shard_index /
+                              cfg_.shard_count);
   for (const auto& quota : quotas) {
     int assigned = 0;
     // Spread attacker C2s across the study; pick matching-family C2s.
@@ -292,6 +324,10 @@ void World::plan_attacks(util::Rng& rng) {
       const std::size_t idx = (i * 37 + static_cast<std::size_t>(made) * 101) % c2s_.size();
       PlannedC2& c2 = c2s_[idx];
       if (c2.attacker || c2.cfg.family != quota.family) continue;
+      // The server's own profile (possibly a variant) dictates its command
+      // vocabulary; a profile with no attack encoding cannot be an attacker.
+      const auto types = c2.cfg.profile->command_types();
+      if (types.empty()) continue;
       c2.attacker = true;
       c2.lifetime_days = static_cast<int>(rng.uniform(10, 16));  // ~10 d (§5)
       c2.cfg.accept_prob = 0.98;
@@ -299,7 +335,6 @@ void World::plan_attacks(util::Rng& rng) {
 
       // Plan 2 commands (a couple of servers get 3 so the yearly total
       // lands near the paper's 42 across ~20 observed sessions).
-      const auto& types = proto::attacks_of(quota.family);
       const int plan_size = (made < 10) ? 3 : 2;
       net::Endpoint shared_target{};  // 25% of targets hit by two types
       const bool reuse_target = rng.chance(0.5);
@@ -458,6 +493,7 @@ void World::plan_samples(util::Rng& rng) {
 
       const PlannedC2* primary = nullptr;
       const PlannedC2* fallback = nullptr;
+      std::vector<const PlannedC2*> extras;
       std::int64_t ref_day = weeks[w] + static_cast<std::int64_t>(rng.uniform(0, 6));
 
       if (!proto::is_p2p(family)) {
@@ -509,20 +545,49 @@ void World::plan_samples(util::Rng& rng) {
         }
 
         if (rng.chance(cfg_.fallback_ref_prob) && !c2_by_week[w].empty()) {
-          // Fallback must speak the same protocol: same family, IP-only.
+          // Fallback must speak the same dialect: same profile, IP-only.
           for (int attempt = 0; attempt < 16 && fallback == nullptr; ++attempt) {
             const auto rank = rng.zipf(c2_by_week[w].size(), cfg_.zipf_share_exponent);
             const auto* cand = &c2s_[c2_by_week[w][static_cast<std::size_t>(rank - 1)]];
             if (cand != primary && !cand->cfg.domain &&
-                cand->cfg.family == family) {
+                cand->cfg.profile == primary->cfg.profile) {
               fallback = cand;
+            }
+          }
+        }
+
+        // Profiles with `fallback.extra` > 0 embed additional failover
+        // servers beyond the classic single fallback. Builtin profiles
+        // declare none, so baseline plans draw nothing here.
+        const int want_extra = primary->cfg.profile->extra_fallbacks;
+        if (want_extra > 0 && !c2_by_week[w].empty()) {
+          for (int e = 0; e < want_extra; ++e) {
+            for (int attempt = 0; attempt < 16; ++attempt) {
+              const auto rank = rng.zipf(c2_by_week[w].size(), cfg_.zipf_share_exponent);
+              const auto* cand = &c2s_[c2_by_week[w][static_cast<std::size_t>(rank - 1)]];
+              if (cand == primary || cand == fallback || cand->cfg.domain ||
+                  cand->cfg.profile != primary->cfg.profile) {
+                continue;
+              }
+              if (std::find(extras.begin(), extras.end(), cand) != extras.end()) {
+                continue;
+              }
+              extras.push_back(cand);
+              break;
             }
           }
         }
       }
 
       sample.truth_family = family;
+      const profile::FamilyProfile* sprof =
+          primary != nullptr && primary->cfg.profile != nullptr
+              ? primary->cfg.profile
+              : registry_->active(family);
       auto spec = make_spec(rng, family, primary, fallback);
+      for (const auto* e : extras) {
+        spec.extra_c2.push_back({e->cfg.ip, e->cfg.port});
+      }
       if (primary != nullptr && primary->attacker) spec.anti_sandbox = false;
 
       // Exploit-carrying minority (D-Exploits, Table 4, Figures 8/9).
@@ -600,7 +665,7 @@ void World::plan_samples(util::Rng& rng) {
       // Forge the binary.
       mal::MbfBinary content;
       content.behavior = spec;
-      content.marker_strings = {mal::family_marker(family), "POST /cdn-cgi/",
+      content.marker_strings = {sprof->marker, "POST /cdn-cgi/",
                                 "/proc/net/tcp", "watchdog"};
       sample.binary = mal::forge(content, rng);
       if (rng.chance(cfg_.corrupt_fraction) &&
@@ -623,6 +688,9 @@ void World::plan_samples(util::Rng& rng) {
       if (fallback != nullptr) {
         sample.truth_c2_refs.push_back(net::to_string(fallback->cfg.ip));
       }
+      for (const auto* e : extras) {
+        sample.truth_c2_refs.push_back(net::to_string(e->cfg.ip));
+      }
       samples_.push_back(std::move(sample));
     }
   }
@@ -637,7 +705,7 @@ void World::plan_samples(util::Rng& rng) {
     mal::MbfBinary content;
     content.arch = rng.chance(0.7) ? mal::Arch::kArm32 : mal::Arch::kX86;
     content.behavior = make_spec(rng, proto::Family::kMozi, nullptr, nullptr);
-    content.marker_strings = {mal::family_marker(proto::Family::kMozi)};
+    content.marker_strings = {registry_->active(proto::Family::kMozi)->marker};
     decoy.binary = mal::forge(content, rng);
     decoy.sha256 = mal::digest(decoy.binary);
     decoy.truth_arch = content.arch;
@@ -659,10 +727,19 @@ void World::plan_samples(util::Rng& rng) {
 mal::BehaviorSpec World::make_spec(util::Rng& rng, proto::Family family,
                                    const PlannedC2* primary,
                                    const PlannedC2* fallback) {
+  const profile::FamilyProfile* prof =
+      primary != nullptr && primary->cfg.profile != nullptr
+          ? primary->cfg.profile
+          : registry_->active(family);
   mal::BehaviorSpec spec;
   spec.family = family;
+  // Variant binaries carry the profile name so the malware process picks up
+  // the variant dialect; builtin-named profiles stay implicit (keeps the
+  // behaviour-spec wire bytes identical to the pre-profile encoder).
+  if (prof->name != proto::to_string(family)) spec.profile_name = prof->name;
   spec.bot_id = default_bot_id(family, rng);
-  spec.keepalive_s = static_cast<std::uint32_t>(rng.uniform(45, 90));
+  spec.keepalive_s = static_cast<std::uint32_t>(
+      rng.uniform(prof->keepalive_min_s, prof->keepalive_max_s));
   spec.check_internet = rng.chance(0.4);
   spec.anti_sandbox = rng.chance(cfg_.anti_sandbox_fraction);
   if (rng.chance(cfg_.telemetry_fraction)) {
@@ -691,7 +768,7 @@ mal::BehaviorSpec World::make_spec(util::Rng& rng, proto::Family family,
     spec.c2_ip = primary->cfg.ip;
   }
   spec.c2_port = primary->cfg.port;
-  if (fallback != nullptr) {
+  if (fallback != nullptr && prof->topology == profile::Topology::kFallback) {
     spec.c2_fallback_ip = fallback->cfg.ip;
     spec.c2_fallback_port = fallback->cfg.port;
   }

@@ -21,6 +21,7 @@
 #include "inetsim/services.hpp"
 #include "mal/behavior.hpp"
 #include "mal/binary.hpp"
+#include "profile/registry.hpp"
 #include "sim/network.hpp"
 #include "util/rng.hpp"
 
@@ -114,6 +115,18 @@ struct WorldConfig {
   // filtered out by the pipeline's architecture gate.
   double non_mips_extra_fraction = 0.06;
 
+  // Family profiles. Null means the builtin registry, which reproduces the
+  // pre-profile compiled-in behaviour bit-for-bit. Not owned; must outlive
+  // the world. `variant_name` optionally routes a fraction of the named
+  // profile's family onto that variant profile (data-only families like a
+  // fallback-C2 Mirai fork): with a variant configured, each planned C2 of
+  // the variant's family flips a `variant_fraction` coin. When no variant
+  // is named, no extra RNG draws happen — loading profiles that match the
+  // builtins leaves the plan bit-identical.
+  const profile::Registry* profiles = nullptr;
+  std::string variant_name;
+  double variant_fraction = 0.0;
+
   // Seed-sharded parallel studies (core::ParallelStudy): this world plans
   // only its shard's interleaved slice of the study population — sample
   // slot / C2 birth slot j is materialized iff j % shard_count ==
@@ -182,6 +195,8 @@ class World {
 
   sim::Network& net_;
   WorldConfig cfg_;
+  const profile::Registry* registry_;  // never null after construction
+  const profile::FamilyProfile* variant_ = nullptr;  // cfg_.variant_name lookup
   asdb::AsDatabase asdb_;
   std::unique_ptr<dns::DnsServer> resolver_;
   std::vector<net::Ipv4> dedicated_downloaders_;

@@ -36,6 +36,7 @@ Pipeline::Pipeline(PipelineConfig cfg) : cfg_(std::move(cfg)) {
 
   botnet::WorldConfig wc = cfg_.world;
   wc.seed = cfg_.seed;
+  if (cfg_.profiles) wc.profiles = cfg_.profiles.get();
   world_ = std::make_unique<botnet::World>(*net_, wc);
 
   if (cfg_.chaos != faultsim::Profile::kNone) {
@@ -49,6 +50,11 @@ Pipeline::Pipeline(PipelineConfig cfg) : cfg_(std::move(cfg)) {
   emu::SandboxConfig sc;
   sc.seed = cfg_.seed ^ 0xBADC0FFEE;
   sc.obs = &obs_;
+  if (cfg_.profiles) {
+    sc.profiles = cfg_.profiles.get();
+  } else if (cfg_.world.profiles != nullptr) {
+    sc.profiles = cfg_.world.profiles;
+  }
   sandbox_ = std::make_unique<emu::Sandbox>(*net_, sc);
 
   intel_ = std::make_unique<intel::ThreatIntel>(cfg_.seed ^ 0x71);

@@ -102,6 +102,12 @@ struct DegradedSample {
 struct PipelineConfig {
   std::uint64_t seed = 22;
   botnet::WorldConfig world{};
+  /// Family profile registry shared by the world planner and every sandbox
+  /// run. Null means the builtin registry, which is bit-identical to the
+  /// pre-profile compiled-in behaviour. Held as a shared_ptr so parallel
+  /// shards reuse one loaded registry; overrides world.profiles /
+  /// SandboxConfig::profiles when set.
+  std::shared_ptr<const profile::Registry> profiles;
   /// Fault-injection profile (DESIGN.md §11). kNone runs the classic clean
   /// study, bit-identical to a build without the fault layer.
   faultsim::Profile chaos = faultsim::Profile::kNone;

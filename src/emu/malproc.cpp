@@ -2,10 +2,8 @@
 
 #include "dns/resolver.hpp"
 #include "emu/attackgen.hpp"
-#include "proto/daddyl33t.hpp"
-#include "proto/gafgyt.hpp"
+#include "profile/wire.hpp"
 #include "proto/irc.hpp"
-#include "proto/mirai.hpp"
 #include "proto/p2p.hpp"
 #include "util/log.hpp"
 #include "util/str.hpp"
@@ -34,6 +32,24 @@ MalwareProcess::MalwareProcess(sim::Host& guest, mal::BehaviorSpec spec, util::R
                                MalProcOptions opts)
     : guest_(guest), spec_(std::move(spec)), rng_(std::move(rng)), opts_(opts) {
   rotate_attack_ports_ = rng_.chance(0.5);  // Mirai UDP variant trait (§5.1)
+
+  // Resolve the C2 dialect: the spec's named profile if the binary carries
+  // one (and it exists for this family), else the family's active profile.
+  const profile::Registry& reg =
+      opts_.profiles != nullptr ? *opts_.profiles : profile::Registry::builtin();
+  if (!spec_.profile_name.empty()) {
+    const auto* named = reg.by_name(spec_.profile_name);
+    if (named != nullptr && named->id == spec_.family) profile_ = named;
+  }
+  if (profile_ == nullptr) profile_ = reg.active(spec_.family);
+
+  // The failover list the bot cycles through when the primary is down.
+  if (!spec_.is_p2p()) {
+    if (spec_.c2_fallback_ip) {
+      fallbacks_.push_back({*spec_.c2_fallback_ip, fallback_port()});
+    }
+    for (const auto& e : spec_.extra_c2) fallbacks_.push_back(e);
+  }
 }
 
 void MalwareProcess::start() {
@@ -89,37 +105,38 @@ void MalwareProcess::run_main() {
                  [this](std::optional<net::Ipv4> ip) {
                    if (ip) {
                      contact_c2({*ip, spec_.c2_port}, opts_.c2_retry_limit,
-                                /*is_fallback=*/false);
-                   } else if (spec_.c2_fallback_ip) {
-                     contact_c2({*spec_.c2_fallback_ip, fallback_port()},
-                                opts_.c2_retry_limit, /*is_fallback=*/true);
+                                /*next_fallback=*/0);
+                   } else if (!fallbacks_.empty()) {
+                     contact_c2(fallbacks_.front(), opts_.c2_retry_limit,
+                                /*next_fallback=*/1);
                    }
                  });
   } else if (spec_.c2_ip) {
     contact_c2({*spec_.c2_ip, spec_.c2_port}, opts_.c2_retry_limit,
-               /*is_fallback=*/false);
+               /*next_fallback=*/0);
   }
 }
 
-void MalwareProcess::contact_c2(net::Endpoint ep, int attempts_left, bool is_fallback) {
+void MalwareProcess::contact_c2(net::Endpoint ep, int attempts_left,
+                                std::size_t next_fallback) {
   ++c2_attempts_;
   contacted_ = ep;
   guest_.tcp_connect(
       ep,
-      [this, ep, attempts_left, is_fallback](sim::ConnectOutcome outcome,
-                                             sim::TcpConn* conn) {
+      [this, ep, attempts_left, next_fallback](sim::ConnectOutcome outcome,
+                                               sim::TcpConn* conn) {
         if (outcome == sim::ConnectOutcome::kConnected && conn != nullptr) {
           on_c2_connected(*conn);
           return;
         }
         if (attempts_left > 0) {
           guest_.schedule_safe(opts_.c2_retry_delay,
-                               [this, ep, attempts_left, is_fallback]() {
-                                 contact_c2(ep, attempts_left - 1, is_fallback);
+                               [this, ep, attempts_left, next_fallback]() {
+                                 contact_c2(ep, attempts_left - 1, next_fallback);
                                });
-        } else if (!is_fallback && spec_.c2_fallback_ip) {
-          contact_c2({*spec_.c2_fallback_ip, fallback_port()}, opts_.c2_retry_limit,
-                     /*is_fallback=*/true);
+        } else if (next_fallback < fallbacks_.size()) {
+          contact_c2(fallbacks_[next_fallback], opts_.c2_retry_limit,
+                     next_fallback + 1);
         } else {
           // Address list exhausted: real bots cycle back to the start and
           // keep trying for as long as they run. Bounded only by the
@@ -127,7 +144,7 @@ void MalwareProcess::contact_c2(net::Endpoint ep, int attempts_left, bool is_fal
           const net::Endpoint primary =
               spec_.c2_ip ? net::Endpoint{*spec_.c2_ip, spec_.c2_port} : ep;
           guest_.schedule_safe(opts_.c2_retry_delay, [this, primary]() {
-            contact_c2(primary, opts_.c2_retry_limit, /*is_fallback=*/false);
+            contact_c2(primary, opts_.c2_retry_limit, /*next_fallback=*/0);
           });
         }
       },
@@ -147,31 +164,30 @@ void MalwareProcess::on_c2_connected(sim::TcpConn& conn) {
         spec_.c2_ip ? net::Endpoint{*spec_.c2_ip, spec_.c2_port} : c.remote();
     guest_.schedule_safe(opts_.c2_retry_delay, [this, primary]() {
       if (c2_conn_ == nullptr) {
-        contact_c2(primary, opts_.c2_retry_limit, /*is_fallback=*/false);
+        contact_c2(primary, opts_.c2_retry_limit, /*next_fallback=*/0);
       }
     });
   });
 
-  switch (spec_.family) {
-    case proto::Family::kMirai:
-      conn.send(util::BytesView{proto::mirai::encode_handshake(spec_.bot_id)});
+  switch (profile_->framing) {
+    case profile::Framing::kBinary:
+      conn.send(util::BytesView{
+          profile::wire::encode_handshake(*profile_, spec_.bot_id)});
       break;
-    case proto::Family::kGafgyt:
-      conn.send(proto::gafgyt::encode_hello("MIPS"));
+    case profile::Framing::kText:
+      // The hello argument is the bot's identity or its CPU architecture
+      // (all sandbox guests emulate MIPS), per the profile's grammar.
+      conn.send(profile::wire::encode_hello(
+          *profile_, profile_->hello_sends_bot_id ? spec_.bot_id : "MIPS"));
       break;
-    case proto::Family::kDaddyl33t:
-      conn.send(proto::daddyl33t::encode_login(spec_.bot_id));
-      break;
-    case proto::Family::kTsunami:
+    case profile::Framing::kIrc:
       conn.send(proto::irc::nick(spec_.bot_id).serialize());
       conn.send(proto::irc::user(spec_.bot_id).serialize());
       break;
-    case proto::Family::kVpnFilter: {
-      static const util::Bytes kClientHello = util::from_hex("16030300310100002d");
-      conn.send(util::BytesView{kClientHello});
+    case profile::Framing::kTlsBeacon:
+      conn.send(util::BytesView{profile_->tls_client_hello});
       break;
-    }
-    default:
+    case profile::Framing::kP2p:
       break;
   }
   send_keepalive();
@@ -180,25 +196,20 @@ void MalwareProcess::on_c2_connected(sim::TcpConn& conn) {
 void MalwareProcess::send_keepalive() {
   guest_.schedule_safe(sim::Duration::seconds(spec_.keepalive_s), [this]() {
     if (c2_conn_ == nullptr || !c2_conn_->established()) return;
-    switch (spec_.family) {
-      case proto::Family::kMirai:
-        c2_conn_->send(util::BytesView{proto::mirai::encode_keepalive()});
+    switch (profile_->framing) {
+      case profile::Framing::kBinary:
+        c2_conn_->send(util::BytesView{profile::wire::encode_keepalive()});
         break;
-      case proto::Family::kGafgyt:
-        c2_conn_->send(proto::gafgyt::encode_pong());
+      case profile::Framing::kText:
+        c2_conn_->send(profile::wire::encode_pong(*profile_));
         break;
-      case proto::Family::kDaddyl33t:
-        c2_conn_->send(proto::daddyl33t::encode_pong());
-        break;
-      case proto::Family::kTsunami:
+      case profile::Framing::kIrc:
         c2_conn_->send(proto::irc::ping("keepalive").serialize());
         break;
-      case proto::Family::kVpnFilter: {
-        static const util::Bytes kBeacon = util::from_hex("170303000a");
-        c2_conn_->send(util::BytesView{kBeacon});
+      case profile::Framing::kTlsBeacon:
+        c2_conn_->send(util::BytesView{profile_->tls_beacon});
         break;
-      }
-      default:
+      case profile::Framing::kP2p:
         break;
     }
     send_keepalive();
@@ -206,8 +217,8 @@ void MalwareProcess::send_keepalive() {
 }
 
 void MalwareProcess::on_c2_data(util::BytesView data) {
-  switch (spec_.family) {
-    case proto::Family::kMirai: {
+  switch (profile_->framing) {
+    case profile::Framing::kBinary: {
       c2_bin_buffer_.insert(c2_bin_buffer_.end(), data.begin(), data.end());
       while (c2_bin_buffer_.size() >= 2) {
         const std::size_t len =
@@ -218,44 +229,40 @@ void MalwareProcess::on_c2_data(util::BytesView data) {
         }
         if (c2_bin_buffer_.size() < 2 + len) break;
         const util::BytesView frame{c2_bin_buffer_.data(), 2 + len};
-        if (const auto cmd = proto::mirai::decode_attack(frame)) handle_command(*cmd);
+        if (const auto cmd = profile::wire::decode_binary_attack(*profile_, frame)) {
+          handle_command(*cmd);
+        }
         c2_bin_buffer_.erase(c2_bin_buffer_.begin(),
                              c2_bin_buffer_.begin() + static_cast<std::ptrdiff_t>(2 + len));
       }
       break;
     }
-    case proto::Family::kGafgyt:
-    case proto::Family::kDaddyl33t:
-    case proto::Family::kTsunami: {
+    case profile::Framing::kText:
+    case profile::Framing::kIrc: {
       c2_text_buffer_ += util::to_string(data);
       std::size_t nl;
       while ((nl = c2_text_buffer_.find('\n')) != std::string::npos) {
         const std::string line = c2_text_buffer_.substr(0, nl);
         c2_text_buffer_.erase(0, nl + 1);
         if (c2_conn_ == nullptr) return;
-        if (spec_.family == proto::Family::kGafgyt) {
-          if (proto::gafgyt::is_ping(line)) {
-            c2_conn_->send(proto::gafgyt::encode_pong());
-          } else if (const auto cmd = proto::gafgyt::decode_attack(line)) {
+        if (profile_->framing == profile::Framing::kText) {
+          if (profile::wire::is_ping(*profile_, line)) {
+            c2_conn_->send(profile::wire::encode_pong(*profile_));
+          } else if (const auto cmd =
+                         profile::wire::decode_text_attack(*profile_, line)) {
             handle_command(*cmd);
           }
-        } else if (spec_.family == proto::Family::kDaddyl33t) {
-          if (proto::daddyl33t::is_ping(line)) {
-            c2_conn_->send(proto::daddyl33t::encode_pong());
-          } else if (const auto cmd = proto::daddyl33t::decode_attack(line)) {
-            handle_command(*cmd);
-          }
-        } else {  // Tsunami IRC
+        } else {  // IRC transport
           const auto msg = proto::irc::parse(line);
           if (!msg) continue;
           if (msg->command == "001") {
-            c2_conn_->send(proto::irc::join("#tsunami").serialize());
+            c2_conn_->send(proto::irc::join(profile_->irc_channel).serialize());
           } else if (msg->command == "PING") {
             c2_conn_->send(proto::irc::pong(msg->trailing).serialize());
           } else if (msg->command == "PRIVMSG") {
-            // Channel-borne attack orders (Gafgyt-style body).
-            if (auto cmd = proto::gafgyt::decode_attack(msg->trailing + "\n")) {
-              cmd->family = proto::Family::kTsunami;
+            // Channel-borne attack orders (text grammar inside the PRIVMSG).
+            if (const auto cmd = profile::wire::decode_text_attack(
+                    *profile_, msg->trailing + "\n")) {
               handle_command(*cmd);
             }
           }
@@ -264,7 +271,7 @@ void MalwareProcess::on_c2_data(util::BytesView data) {
       break;
     }
     default:
-      break;  // VPNFilter beacons carry no commands in our model
+      break;  // tls-beacon dialogue carries no commands in our model
   }
 }
 

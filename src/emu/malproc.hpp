@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "mal/behavior.hpp"
+#include "profile/registry.hpp"
 #include "proto/attack.hpp"
 #include "sim/network.hpp"
 #include "util/rng.hpp"
@@ -19,6 +20,9 @@ namespace malnet::emu {
 
 struct MalProcOptions {
   net::Endpoint resolver{net::Ipv4{1, 1, 1, 1}, 53};
+  /// Profile registry resolving the sample's C2 dialect. Null means the
+  /// builtin registry (the compiled-in family behaviour). Not owned.
+  const profile::Registry* profiles = nullptr;
   int c2_retry_limit = 2;
   sim::Duration c2_retry_delay = sim::Duration::seconds(20);
   sim::Duration connect_timeout = sim::Duration::seconds(5);
@@ -51,7 +55,9 @@ class MalwareProcess {
  private:
   void check_internet_then_run();
   void run_main();
-  void contact_c2(net::Endpoint ep, int attempts_left, bool is_fallback);
+  /// Dials `ep`; on failure retries it `attempts_left` more times, then
+  /// moves to fallbacks_[next_fallback..], then cycles back to the primary.
+  void contact_c2(net::Endpoint ep, int attempts_left, std::size_t next_fallback);
   void on_c2_connected(sim::TcpConn& conn);
   void send_keepalive();
   void on_c2_data(util::BytesView data);
@@ -66,6 +72,8 @@ class MalwareProcess {
   mal::BehaviorSpec spec_;
   util::Rng rng_;
   MalProcOptions opts_;
+  const profile::FamilyProfile* profile_ = nullptr;  // set in ctor, never null
+  std::vector<net::Endpoint> fallbacks_;  // spec fallback + extra_c2, in order
 
   bool started_ = false;
   bool aborted_ = false;

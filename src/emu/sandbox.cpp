@@ -62,6 +62,7 @@ class Sandbox::Run {
     guest_->set_inbound_rewriter([this](net::Packet& p) { rewrite_inbound(p); });
 
     MalProcOptions mp;
+    mp.profiles = box.cfg_.profiles;
     mp.attack_pps = opts_.attack_pps;
     mp.attack_cap = opts_.attack_cap;
     mp.c2_retry_limit = opts_.c2_retry_limit;

@@ -104,6 +104,9 @@ struct SandboxConfig {
   /// Runs and reports are counted in its registry; completed runs emit
   /// trace spans when its tracer is enabled.
   obs::Observer* obs = nullptr;
+  /// Profile registry forwarded to every malware process (null = builtin).
+  /// Not owned; must outlive the sandbox.
+  const profile::Registry* profiles = nullptr;
 };
 
 /// Factory driving concurrent sandbox runs on one simulated network.

@@ -28,6 +28,10 @@ constexpr std::uint8_t kCheckInternet = 4;
 constexpr std::uint8_t kAntiSandbox = 8;
 constexpr std::uint8_t kHasFallback = 16;
 constexpr std::uint8_t kHasTelemetry = 32;
+// Appended by the profile subsystem. Default-valued specs never set these
+// bits, so every pre-profile binary encodes (and decodes) byte-identically.
+constexpr std::uint8_t kHasProfileName = 64;
+constexpr std::uint8_t kHasExtraC2 = 128;
 }  // namespace
 
 util::Bytes encode_behavior(const BehaviorSpec& spec) {
@@ -40,6 +44,8 @@ util::Bytes encode_behavior(const BehaviorSpec& spec) {
   if (spec.anti_sandbox) flags |= kAntiSandbox;
   if (spec.c2_fallback_ip) flags |= kHasFallback;
   if (spec.telemetry_domain) flags |= kHasTelemetry;
+  if (!spec.profile_name.empty()) flags |= kHasProfileName;
+  if (!spec.extra_c2.empty()) flags |= kHasExtraC2;
   w.u8(flags);
   if (spec.c2_domain) w.lp16(*spec.c2_domain);
   if (spec.c2_ip) w.u32(spec.c2_ip->value);
@@ -69,6 +75,17 @@ util::Bytes encode_behavior(const BehaviorSpec& spec) {
     w.u16(p.port);
   }
   w.lp16(spec.node_id);
+
+  // Profile-era fields ride at the end, gated by their flag bits, so the
+  // encoding of a spec that does not use them is unchanged.
+  if (!spec.profile_name.empty()) w.lp16(spec.profile_name);
+  if (!spec.extra_c2.empty()) {
+    w.u16(static_cast<std::uint16_t>(spec.extra_c2.size()));
+    for (const auto& e : spec.extra_c2) {
+      w.u32(e.ip.value);
+      w.u16(e.port);
+    }
+  }
   return w.take();
 }
 
@@ -116,6 +133,19 @@ std::optional<BehaviorSpec> decode_behavior(util::BytesView wire) {
       spec.p2p_peers.push_back({ip, port});
     }
     spec.node_id = util::to_string(r.lp16());
+    if (flags & kHasProfileName) {
+      spec.profile_name = util::to_string(r.lp16());
+      if (spec.profile_name.empty()) return std::nullopt;
+    }
+    if (flags & kHasExtraC2) {
+      const std::uint16_t n_extra = r.u16();
+      if (n_extra == 0) return std::nullopt;
+      for (std::uint16_t i = 0; i < n_extra; ++i) {
+        const net::Ipv4 ip{r.u32()};
+        const net::Port port = r.u16();
+        spec.extra_c2.push_back({ip, port});
+      }
+    }
     if (!r.done()) return std::nullopt;
     return spec;
   } catch (const util::TruncatedInput&) {

@@ -39,11 +39,18 @@ struct BehaviorSpec {
   // use peers instead.
   std::optional<std::string> c2_domain;
   std::optional<net::Ipv4> c2_ip;
-  /// Failover C2 tried when the primary is unreachable (the "alternative
-  /// plan" behaviour studied by Squeeze [30]; common in Mirai forks).
+  /// Failover C2 tried when the primary is unreachable; common in Mirai
+  /// forks.
   std::optional<net::Ipv4> c2_fallback_ip;
   net::Port c2_port = 23;
   net::Port c2_fallback_port = 0;  // used with c2_fallback_ip (0 = c2_port)
+  /// Additional failover C2s tried after c2_fallback_ip, in order. Only
+  /// profiles with a "fallback" section populate this; builtin-family
+  /// samples leave it empty (and encode identically to before it existed).
+  std::vector<net::Endpoint> extra_c2;
+  /// Name of the registry profile driving this sample's C2 dialect. Empty
+  /// means the family's active profile — every builtin-family sample.
+  std::string profile_name;
   std::string bot_id = "mips.bot";
   std::uint32_t keepalive_s = 60;
   /// Checks connectivity (DNS+HTTP) before contacting the C2.

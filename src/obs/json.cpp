@@ -12,12 +12,20 @@ class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
 
-  std::optional<Value> run() {
+  std::optional<Value> run(std::size_t* error_offset = nullptr) {
     skip_ws();
     Value v;
-    if (!parse_value(v)) return std::nullopt;
-    skip_ws();
-    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    bool ok = parse_value(v);
+    if (ok) {
+      skip_ws();
+      ok = pos_ == text_.size();  // trailing garbage otherwise
+    }
+    if (!ok) {
+      // pos_ sits at (or just past) the byte that broke the grammar: the
+      // recursive-descent helpers bail without rewinding.
+      if (error_offset != nullptr) *error_offset = std::min(pos_, text_.size());
+      return std::nullopt;
+    }
     return v;
   }
 
@@ -187,6 +195,10 @@ const Value* Value::at_path(std::string_view dotted) const {
 
 std::optional<Value> parse(std::string_view text) {
   return Parser(text).run();
+}
+
+std::optional<Value> parse(std::string_view text, std::size_t* error_offset) {
+  return Parser(text).run(error_offset);
 }
 
 namespace {

@@ -43,6 +43,13 @@ struct Value {
 /// Returns std::nullopt on any syntax error or trailing garbage.
 [[nodiscard]] std::optional<Value> parse(std::string_view text);
 
+/// Like parse(), but on failure also reports the byte offset the parser
+/// stopped at (clamped to text.size()). Callers that need line/column
+/// context — the profile loader's `malnetctl profile check` — count
+/// newlines up to the offset.
+[[nodiscard]] std::optional<Value> parse(std::string_view text,
+                                         std::size_t* error_offset);
+
 /// Compact serialisation. Object keys render in map order (sorted), so
 /// write(parse(x)) is deterministic. Integral numbers print without a
 /// fractional part or exponent (Chrome trace "ts"/"dur" fields survive a

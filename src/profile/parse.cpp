@@ -1,0 +1,314 @@
+#include "profile/parse.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/str.hpp"
+
+namespace malnet::profile {
+
+std::string ParseIssue::render() const {
+  if (line > 0) {
+    return "line " + std::to_string(line) + ", column " + std::to_string(column) +
+           ": " + message;
+  }
+  if (!field.empty()) return "field '" + field + "': " + message;
+  return message;
+}
+
+namespace {
+
+using obs::json::Value;
+
+/// Schema violations unwind to parse_profile, which turns them into a
+/// ParseIssue. Internal to this translation unit.
+struct SchemaError {
+  std::string field;
+  std::string message;
+};
+
+std::string joined(const std::string& path, const char* key) {
+  return path.empty() ? key : path + "." + key;
+}
+
+const Value* find(const Value& obj, const char* key) { return obj.find(key); }
+
+const Value& require(const Value& obj, const std::string& path, const char* key) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) throw SchemaError{joined(path, key), "missing"};
+  return *v;
+}
+
+std::string require_string(const Value& obj, const std::string& path,
+                           const char* key) {
+  const Value& v = require(obj, path, key);
+  if (!v.is_string()) throw SchemaError{joined(path, key), "must be a string"};
+  return v.str;
+}
+
+std::uint32_t require_u32(const Value& obj, const std::string& path,
+                          const char* key) {
+  const Value& v = require(obj, path, key);
+  if (!v.is_number() || v.number < 0 || v.number > 4294967295.0 ||
+      v.number != std::floor(v.number)) {
+    throw SchemaError{joined(path, key), "must be an unsigned integer"};
+  }
+  return static_cast<std::uint32_t>(v.number);
+}
+
+void require_object(const Value& v, const std::string& path) {
+  if (!v.is_object()) throw SchemaError{path, "must be an object"};
+}
+
+/// Strict schema: a key the grammar does not define is an error, so typos
+/// fail loudly instead of silently falling back to defaults.
+void reject_unknown_keys(const Value& obj, const std::string& path,
+                         std::initializer_list<const char*> allowed) {
+  for (const auto& [key, member] : obj.object) {
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) throw SchemaError{joined(path, key.c_str()), "unknown key"};
+  }
+}
+
+util::Bytes require_hex(const Value& obj, const std::string& path,
+                        const char* key) {
+  const std::string text = require_string(obj, path, key);
+  try {
+    return util::from_hex(text);
+  } catch (const std::invalid_argument&) {
+    throw SchemaError{joined(path, key), "must be an even-length hex string"};
+  }
+}
+
+FamilyProfile from_json(const Value& root) {
+  require_object(root, "");
+  reject_unknown_keys(root, "",
+                      {"family", "name", "marker", "framing", "topology",
+                       "binary", "text", "irc", "tls", "commands", "beacon",
+                       "plan", "fallback"});
+
+  FamilyProfile p;
+  const std::string fam = require_string(root, "", "family");
+  const auto id = proto::family_from_string(fam);
+  if (!id) throw SchemaError{"family", "unknown family '" + fam + "'"};
+  p.id = *id;
+  p.name = proto::to_string(p.id);
+  if (const Value* v = find(root, "name")) {
+    if (!v->is_string()) throw SchemaError{"name", "must be a string"};
+    p.name = v->str;
+  }
+  p.marker = require_string(root, "", "marker");
+
+  const std::string framing = require_string(root, "", "framing");
+  const auto fr = framing_from_string(framing);
+  if (!fr) throw SchemaError{"framing", "unknown framing '" + framing + "'"};
+  p.framing = *fr;
+
+  const std::string topology = require_string(root, "", "topology");
+  const auto topo = topology_from_string(topology);
+  if (!topo) throw SchemaError{"topology", "unknown topology '" + topology + "'"};
+  p.topology = *topo;
+
+  // Exactly the section matching `framing` may be present: a profile that
+  // carries (say) both "binary" and "text" sections is ambiguous about how
+  // the C2 dialogue is framed, and is rejected outright.
+  struct Section {
+    const char* key;
+    Framing framing;
+  };
+  static constexpr Section kSections[] = {
+      {"binary", Framing::kBinary},
+      {"text", Framing::kText},
+      {"irc", Framing::kIrc},
+      {"tls", Framing::kTlsBeacon},
+  };
+  for (const auto& s : kSections) {
+    const bool present = find(root, s.key) != nullptr;
+    const bool expected = p.framing == s.framing;
+    if (present && !expected) {
+      throw SchemaError{s.key, "ambiguous framing: profile declares framing '" +
+                                   to_string(p.framing) + "'"};
+    }
+    if (!present && expected) {
+      throw SchemaError{s.key, "missing section for framing '" +
+                                   to_string(p.framing) + "'"};
+    }
+  }
+
+  switch (p.framing) {
+    case Framing::kBinary: {
+      const Value& b = *find(root, "binary");
+      require_object(b, "binary");
+      reject_unknown_keys(b, "binary", {"handshake_magic"});
+      p.handshake_magic = require_u32(b, "binary", "handshake_magic");
+      break;
+    }
+    case Framing::kText: {
+      const Value& t = *find(root, "text");
+      require_object(t, "text");
+      reject_unknown_keys(t, "text",
+                          {"hello", "hello_arg", "hello_sends", "ping", "pong",
+                           "attack_prefix"});
+      const Value& hello = require(t, "text", "hello");
+      if (!hello.is_array()) throw SchemaError{"text.hello", "must be an array"};
+      p.hello_words.clear();
+      for (const Value& w : hello.array) {
+        if (!w.is_string()) {
+          throw SchemaError{"text.hello", "must be an array of strings"};
+        }
+        p.hello_words.push_back(w.str);
+      }
+      const std::string arg = require_string(t, "text", "hello_arg");
+      if (arg == "rest") {
+        p.hello_takes_rest = true;
+      } else if (arg == "token") {
+        p.hello_takes_rest = false;
+      } else {
+        throw SchemaError{"text.hello_arg", "must be 'rest' or 'token'"};
+      }
+      const std::string sends = require_string(t, "text", "hello_sends");
+      if (sends == "arch") {
+        p.hello_sends_bot_id = false;
+      } else if (sends == "bot-id") {
+        p.hello_sends_bot_id = true;
+      } else {
+        throw SchemaError{"text.hello_sends", "must be 'arch' or 'bot-id'"};
+      }
+      p.ping_word = require_string(t, "text", "ping");
+      p.pong_word = require_string(t, "text", "pong");
+      p.attack_prefix = require_string(t, "text", "attack_prefix");
+      break;
+    }
+    case Framing::kIrc: {
+      const Value& c = *find(root, "irc");
+      require_object(c, "irc");
+      reject_unknown_keys(c, "irc", {"channel", "attack_prefix"});
+      p.irc_channel = require_string(c, "irc", "channel");
+      p.attack_prefix = require_string(c, "irc", "attack_prefix");
+      break;
+    }
+    case Framing::kTlsBeacon: {
+      const Value& t = *find(root, "tls");
+      require_object(t, "tls");
+      reject_unknown_keys(t, "tls",
+                          {"client_hello", "server_hello", "beacon", "peer_id"});
+      p.tls_client_hello = require_hex(t, "tls", "client_hello");
+      p.tls_server_hello = require_hex(t, "tls", "server_hello");
+      p.tls_beacon = require_hex(t, "tls", "beacon");
+      p.tls_peer_id = require_string(t, "tls", "peer_id");
+      break;
+    }
+    case Framing::kP2p: break;
+  }
+
+  if (const Value* cmds = find(root, "commands")) {
+    if (!cmds->is_array()) throw SchemaError{"commands", "must be an array"};
+    for (std::size_t i = 0; i < cmds->array.size(); ++i) {
+      const std::string at = "commands[" + std::to_string(i) + "]";
+      const Value& entry = cmds->array[i];
+      require_object(entry, at);
+      if (p.is_text_like()) {
+        reject_unknown_keys(entry, at, {"type", "keyword"});
+      } else {
+        reject_unknown_keys(entry, at, {"type", "vector"});
+      }
+      Command c;
+      const std::string type = require_string(entry, at, "type");
+      const auto t = attack_type_from_string(type);
+      if (!t) throw SchemaError{at + ".type", "unknown attack type '" + type + "'"};
+      c.type = *t;
+      if (p.is_text_like()) {
+        c.keyword = require_string(entry, at, "keyword");
+      } else {
+        const std::uint32_t vec = require_u32(entry, at, "vector");
+        if (vec > 255) throw SchemaError{at + ".vector", "must fit in a byte"};
+        c.vector = static_cast<std::uint8_t>(vec);
+      }
+      p.commands.push_back(std::move(c));
+    }
+  }
+
+  if (const Value* beacon = find(root, "beacon")) {
+    require_object(*beacon, "beacon");
+    reject_unknown_keys(*beacon, "beacon",
+                        {"keepalive_min_s", "keepalive_max_s"});
+    p.keepalive_min_s = require_u32(*beacon, "beacon", "keepalive_min_s");
+    p.keepalive_max_s = require_u32(*beacon, "beacon", "keepalive_max_s");
+  }
+
+  if (const Value* plan = find(root, "plan")) {
+    require_object(*plan, "plan");
+    reject_unknown_keys(*plan, "plan", {"attacker_quota"});
+    const std::uint32_t quota = require_u32(*plan, "plan", "attacker_quota");
+    if (quota > 1000) throw SchemaError{"plan.attacker_quota", "implausibly large"};
+    p.attacker_quota = static_cast<int>(quota);
+  }
+
+  if (const Value* fb = find(root, "fallback")) {
+    require_object(*fb, "fallback");
+    reject_unknown_keys(*fb, "fallback", {"extra"});
+    const std::uint32_t extra = require_u32(*fb, "fallback", "extra");
+    if (extra > 16) throw SchemaError{"fallback.extra", "implausibly large"};
+    p.extra_fallbacks = static_cast<int>(extra);
+  }
+  return p;
+}
+
+}  // namespace
+
+std::optional<FamilyProfile> parse_profile(std::string_view text,
+                                           ParseIssue* issue) {
+  std::size_t offset = 0;
+  const auto doc = obs::json::parse(text, &offset);
+  if (!doc) {
+    if (issue != nullptr) {
+      issue->message = "JSON syntax error";
+      issue->line = 1;
+      issue->column = 1;
+      for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
+        if (text[i] == '\n') {
+          ++issue->line;
+          issue->column = 1;
+        } else {
+          ++issue->column;
+        }
+      }
+      issue->field.clear();
+    }
+    return std::nullopt;
+  }
+  try {
+    FamilyProfile p = from_json(*doc);
+    if (const auto err = p.validate()) {
+      // validate() prefixes the offending field path ("text.ping: ...").
+      const std::size_t colon = err->find(": ");
+      if (issue != nullptr) {
+        issue->line = issue->column = 0;
+        if (colon != std::string::npos) {
+          issue->field = err->substr(0, colon);
+          issue->message = err->substr(colon + 2);
+        } else {
+          issue->field.clear();
+          issue->message = *err;
+        }
+      }
+      return std::nullopt;
+    }
+    return p;
+  } catch (const SchemaError& e) {
+    if (issue != nullptr) {
+      issue->message = e.message;
+      issue->line = issue->column = 0;
+      issue->field = e.field;
+    }
+    return std::nullopt;
+  }
+}
+
+}  // namespace malnet::profile

@@ -1,0 +1,32 @@
+// Profile file parsing: JSON text -> validated FamilyProfile, with enough
+// error context for `malnetctl profile check` to point at the problem.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "profile/profile.hpp"
+
+namespace malnet::profile {
+
+/// Why a profile failed to load. For JSON syntax errors `line`/`column`
+/// are 1-based positions of the byte the parser stopped at; for schema and
+/// validation errors they are 0 and `field` names the offending key path.
+struct ParseIssue {
+  std::string message;
+  int line = 0;
+  int column = 0;
+  std::string field;
+
+  /// "line 3, column 7: ..." or "field 'text.ping': ...".
+  [[nodiscard]] std::string render() const;
+};
+
+/// Parses and validates one profile document. Returns std::nullopt and
+/// fills `issue` (if non-null) on any syntax, schema, or validation error —
+/// an invalid profile is never returned.
+[[nodiscard]] std::optional<FamilyProfile> parse_profile(std::string_view text,
+                                                         ParseIssue* issue);
+
+}  // namespace malnet::profile

@@ -1,0 +1,63 @@
+// The profile registry: the set of family profiles a study runs with.
+//
+// A Registry starts populated with the seven builtin profiles (keyed by
+// their family names, "Mirai" .. "VPNFilter") and can then load profile
+// files that override a builtin or add a named variant. botnet::World,
+// botnet::C2Server and emu::MalwareProcess resolve behaviour through the
+// registry; set_hash() feeds store::study_fingerprint so a changed profile
+// invalidates --resume while a byte-identical reload does not.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "profile/profile.hpp"
+
+namespace malnet::profile {
+
+class Registry {
+ public:
+  /// Installs the seven builtin profiles.
+  Registry();
+
+  /// The process-wide builtin registry (no files loaded). Consumers that
+  /// are handed no registry fall back to this, which preserves the
+  /// pre-profile compiled-in behaviour exactly.
+  [[nodiscard]] static const Registry& builtin();
+
+  /// Loads one profile file, replacing any same-named profile. Returns an
+  /// error string (prefixed with the path) instead of loading anything on
+  /// parse or validation failure.
+  [[nodiscard]] std::optional<std::string> load_file(const std::string& path);
+
+  /// Loads every *.json file in `dir` in sorted name order (so the
+  /// resulting registry — and set_hash() — is independent of directory
+  /// enumeration order). Stops at the first bad file.
+  [[nodiscard]] std::optional<std::string> load_dir(const std::string& dir);
+
+  /// The profile driving family `f`: the one named proto::to_string(f).
+  /// Never null — builtins are always present.
+  [[nodiscard]] const FamilyProfile* active(proto::Family f) const;
+
+  /// Lookup by profile name ("mirai-fallback"); nullptr if absent.
+  [[nodiscard]] const FamilyProfile* by_name(const std::string& name) const;
+
+  /// All profiles in name order.
+  [[nodiscard]] std::vector<const FamilyProfile*> all() const;
+
+  /// Order-independent content hash of the whole loaded set, folded into
+  /// study_fingerprint. Loading files byte-equivalent to the builtins
+  /// yields the builtin hash (profiles hash over their canonical form).
+  [[nodiscard]] std::uint64_t set_hash() const;
+
+ private:
+  // std::map: node stability keeps FamilyProfile pointers valid across
+  // later load_file calls, and iteration order is the canonical name order
+  // set_hash depends on.
+  std::map<std::string, FamilyProfile> profiles_;
+};
+
+}  // namespace malnet::profile

@@ -1,0 +1,60 @@
+// Profile-parameterised C2 wire codecs: the binary and text message
+// grammars from proto/mirai|gafgyt|daddyl33t generalised over a
+// FamilyProfile. For every builtin profile these produce and accept bytes
+// identical to the compiled-in proto::* codecs (asserted exhaustively in
+// tests/test_profile.cpp) — that identity is what makes the data-driven
+// path a drop-in replacement.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "profile/profile.hpp"
+#include "proto/attack.hpp"
+#include "util/bytes.hpp"
+
+namespace malnet::profile::wire {
+
+// --- binary framing (Mirai grammar, magic parameterised) -------------------
+
+[[nodiscard]] util::Bytes encode_handshake(const FamilyProfile& p,
+                                           const std::string& bot_id);
+struct Handshake {
+  std::string bot_id;
+};
+[[nodiscard]] std::optional<Handshake> decode_handshake(const FamilyProfile& p,
+                                                        util::BytesView wire);
+
+[[nodiscard]] util::Bytes encode_keepalive();
+[[nodiscard]] bool is_keepalive(util::BytesView wire);
+
+/// u16-length-framed attack body; vector id from the profile's command
+/// table. Throws std::invalid_argument for a type the profile lacks.
+[[nodiscard]] util::Bytes encode_binary_attack(const FamilyProfile& p,
+                                               const proto::AttackCommand& cmd);
+[[nodiscard]] std::optional<proto::AttackCommand> decode_binary_attack(
+    const FamilyProfile& p, util::BytesView wire);
+
+// --- text framing (Gafgyt/Daddyl33t grammar, words parameterised) ----------
+
+/// "HELLO-WORDS <arg>\n" — arg is the bot id or arch per hello_sends.
+[[nodiscard]] std::string encode_hello(const FamilyProfile& p,
+                                       const std::string& arg);
+/// The hello argument, or nullopt if the line is not this profile's hello.
+[[nodiscard]] std::optional<std::string> decode_hello(const FamilyProfile& p,
+                                                      std::string_view line);
+
+[[nodiscard]] std::string encode_ping(const FamilyProfile& p);
+[[nodiscard]] std::string encode_pong(const FamilyProfile& p);
+[[nodiscard]] bool is_ping(const FamilyProfile& p, std::string_view line);
+[[nodiscard]] bool is_pong(const FamilyProfile& p, std::string_view line);
+
+/// "[PREFIX ]KEYWORD ip port secs\n". Throws std::invalid_argument for a
+/// type the profile lacks.
+[[nodiscard]] std::string encode_text_attack(const FamilyProfile& p,
+                                             const proto::AttackCommand& cmd);
+[[nodiscard]] std::optional<proto::AttackCommand> decode_text_attack(
+    const FamilyProfile& p, std::string_view line);
+
+}  // namespace malnet::profile::wire

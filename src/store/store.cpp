@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "profile/registry.hpp"
 #include "report/dataset_io.hpp"
 #include "util/fsio.hpp"
 #include "util/log.hpp"
@@ -550,6 +551,16 @@ std::uint64_t study_fingerprint(const core::ParallelStudyConfig& cfg) {
   w.u32(static_cast<std::uint32_t>(cfg.base.max_candidates_per_sample));
   w.u32(static_cast<std::uint32_t>(cfg.base.max_live_runs_per_c2));
   w.u64(static_cast<std::uint64_t>(cfg.base.requery_day));
+  // Family profiles shape every dataset; a changed profile set (or variant
+  // routing) must invalidate resume, while reloading byte-identical
+  // profiles must not.
+  const profile::Registry* reg = cfg.base.profiles            ? cfg.base.profiles.get()
+                                 : cfg.base.world.profiles != nullptr
+                                     ? cfg.base.world.profiles
+                                     : &profile::Registry::builtin();
+  w.u64(reg->set_hash());
+  w.lp16(cfg.base.world.variant_name);
+  w.u64(std::bit_cast<std::uint64_t>(cfg.base.world.variant_fraction));
   return util::fnv1a64(util::to_string(util::BytesView{w.bytes()}));
 }
 

@@ -14,6 +14,7 @@
 
 #include "core/parallel_study.hpp"
 #include "fault/fault.hpp"
+#include "profile/registry.hpp"
 #include "report/dataset_io.hpp"
 #include "store/query.hpp"
 #include "store/store.hpp"
@@ -196,6 +197,44 @@ TEST(Store, FingerprintCoversOutputChangingKnobs) {
   auto jobs = base;
   jobs.jobs = 1;
   EXPECT_EQ(study_fingerprint(jobs), fp);
+}
+
+TEST(Store, FingerprintCoversProfileSetAndVariant) {
+  const auto base = study_config(22, 60, 4, 2);
+  const auto fp = study_fingerprint(base);
+
+  // Loading files byte-equivalent to the builtins must not invalidate a
+  // resume (the committed profiles/ directory is exactly such a set).
+  const auto dir = fs::path(::testing::TempDir()) / "fp_profiles";
+  fs::remove_all(dir);  // a previous run's variant file must not leak in
+  fs::create_directories(dir);
+  for (const auto* p : profile::Registry::builtin().all()) {
+    std::ofstream(dir / (p->name + ".json")) << p->to_pretty_json();
+  }
+  auto same = std::make_shared<profile::Registry>();
+  ASSERT_FALSE(same->load_dir(dir.string()).has_value());
+  auto with_same = base;
+  with_same.base.profiles = same;
+  EXPECT_EQ(study_fingerprint(with_same), fp);
+
+  // ...while a changed or added profile must invalidate it.
+  auto variant = profile::builtin_profile(proto::Family::kMirai);
+  variant.name = "mirai-fallback";
+  variant.handshake_magic = 2;
+  variant.extra_fallbacks = 2;
+  variant.attacker_quota = 0;
+  std::ofstream(dir / "zz-variant.json") << variant.to_pretty_json();
+  auto changed = std::make_shared<profile::Registry>();
+  ASSERT_FALSE(changed->load_dir(dir.string()).has_value());
+  auto with_changed = base;
+  with_changed.base.profiles = changed;
+  EXPECT_NE(study_fingerprint(with_changed), fp);
+
+  // Variant routing changes every dataset, so it is fingerprinted too.
+  auto routed = with_changed;
+  routed.base.world.variant_name = "mirai-fallback";
+  routed.base.world.variant_fraction = 0.5;
+  EXPECT_NE(study_fingerprint(routed), study_fingerprint(with_changed));
 }
 
 TEST(Store, ResumeFromPartialCommitMatrix) {

@@ -16,6 +16,7 @@
 #include "dns/message.hpp"
 #include "net/packet.hpp"
 #include "net/pcap.hpp"
+#include "profile/profile.hpp"
 #include "proto/daddyl33t.hpp"
 #include "proto/gafgyt.hpp"
 #include "proto/irc.hpp"
@@ -118,6 +119,20 @@ int main(int argc, char** argv) {
   reply.txn = "gp";
   reply.peers = {{net::Ipv4{203, 0, 113, 20}, 6881}, {net::Ipv4{198, 51, 100, 3}, 6882}};
   write_file(dir / "p2p_peers_reply.bin", proto::p2p::encode_peers_reply(reply));
+
+  // --- Family profiles (src/profile) — fuzz seeds for test_profile ---
+  write_file(dir / "profile_mirai.json",
+             profile::builtin_profile(Family::kMirai).to_pretty_json());
+  write_file(dir / "profile_tsunami.json",
+             profile::builtin_profile(Family::kTsunami).to_pretty_json());
+  write_file(dir / "profile_vpnfilter.json",
+             profile::builtin_profile(Family::kVpnFilter).to_pretty_json());
+  auto variant = profile::builtin_profile(Family::kMirai);
+  variant.name = "mirai-fallback";
+  variant.handshake_magic = 2;
+  variant.extra_fallbacks = 2;
+  variant.attacker_quota = 0;
+  write_file(dir / "profile_variant.json", variant.to_pretty_json());
 
   // --- DNS query/response pair ---
   const auto query = dns::make_query(0x1337, "cnc.malnet.example");

@@ -17,7 +17,10 @@
 // exploit attribution on one file; `study` runs the pipeline and prints the
 // headline tables (or the claim scorecard with --claims). The store
 // commands manage the crash-safe incremental store (DESIGN.md §12).
+#include <cctype>
+#include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -37,6 +40,8 @@
 #include "mal/labels.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "profile/parse.hpp"
+#include "profile/registry.hpp"
 #include "report/claims.hpp"
 #include "report/dataset_io.hpp"
 #include "report/digest.hpp"
@@ -72,6 +77,7 @@ using namespace malnet;
       "  analyze <file.mbf> [--pcap <out.pcap>]\n"
       "  study [--samples N] [--seed N] [--shards N] [--jobs N] [--no-probe]\n"
       "        [--claims] [--save-datasets <file.mds>] [--strict]\n"
+      "        [--profiles <dir>] [--variant <name>[:fraction]]\n"
       "        [--store <dir> [--resume]]\n"
       "        [--metrics-out <m.json>] [--trace-out <t.json>] [--profile]\n"
       "        [--chaos <none|flaky|hostile>] [--chaos-seed N]\n"
@@ -89,7 +95,11 @@ using namespace malnet;
       "         --store commits each finished shard into a crash-safe\n"
       "         segment store; --resume skips shards already committed by an\n"
       "         identically-configured run. --strict exits 3 when any sample\n"
-      "         degraded.)\n"
+      "         degraded.\n"
+      "         --profiles loads every *.json family profile in the\n"
+      "         directory (overriding builtins of the same name); --variant\n"
+      "         routes the named profile's family onto that variant for a\n"
+      "         fraction of planned C2s, default 1.0.)\n"
       "  ingest --store <dir> (<file.mds> ... | study options)\n"
       "        (appends dataset batches to a store as segments)\n"
       "  compact --store <dir>   (merge all segments into one, deterministically)\n"
@@ -123,6 +133,10 @@ using namespace malnet;
       "  dossier <file.mds> <c2-address|sample-sha>\n"
       "  digest <file.mds> [--week N]\n"
       "  export-rules [--samples N] [--seed N] --out <file.rules>\n"
+      "  profile check <file.json> ...   (validate family profiles; exit 2\n"
+      "        with line/field context on the first malformed file)\n"
+      "  profile dump [<dir>]   (write the builtin profiles as canonical\n"
+      "        pretty-printed JSON, default directory 'profiles')\n"
       "  json-check <file.json> [dotted.key ...]   (CI artifact validator)\n"
       "global: --log-level <debug|info|warn|error|off>\n";
   std::exit(2);
@@ -310,6 +324,23 @@ core::ParallelStudyConfig build_study_config(const Args& args) {
     cfg.base.chaos = *profile;
   }
   cfg.base.chaos_seed = std::stoull(args.get("chaos-seed", "0"));
+  if (args.has("profiles")) {
+    auto reg = std::make_shared<profile::Registry>();
+    if (const auto err = reg->load_dir(args.get("profiles"))) {
+      throw std::runtime_error(*err);
+    }
+    cfg.base.profiles = std::move(reg);
+  }
+  if (args.has("variant")) {
+    std::string spec = args.get("variant");
+    double fraction = 1.0;
+    if (const auto colon = spec.rfind(':'); colon != std::string::npos) {
+      fraction = std::stod(spec.substr(colon + 1));
+      spec.resize(colon);
+    }
+    cfg.base.world.variant_name = spec;
+    cfg.base.world.variant_fraction = fraction;
+  }
   cfg.jobs = std::stoi(args.get("jobs", "0"));
   // --jobs alone still parallelizes: the study splits into one shard per job.
   cfg.shards = std::stoi(args.get("shards", cfg.jobs > 0 ? args.get("jobs") : "1"));
@@ -798,6 +829,77 @@ int cmd_digest(const Args& args) {
   return 0;
 }
 
+std::string hash_hex(std::uint64_t h) {
+  std::ostringstream out;
+  out << std::hex << std::setfill('0') << std::setw(16) << h;
+  return out.str();
+}
+
+/// `profile check` validates family-profile files the way a study's
+/// --profiles load would, with line/field context; `profile dump` writes
+/// the builtins in their canonical pretty-printed form (the committed
+/// profiles/ directory is exactly such a dump plus variants).
+int cmd_profile(const Args& args) {
+  if (args.positional.empty()) usage();
+  const auto& sub = args.positional[0];
+  if (sub == "check") {
+    if (args.positional.size() < 2) usage();
+    int bad = 0;
+    for (std::size_t i = 1; i < args.positional.size(); ++i) {
+      const auto& path = args.positional[i];
+      util::Bytes bytes;
+      try {
+        bytes = read_file(path);
+      } catch (const std::exception& e) {
+        std::cerr << path << ": " << e.what() << '\n';
+        ++bad;
+        continue;
+      }
+      profile::ParseIssue issue;
+      const auto parsed = profile::parse_profile(
+          std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                           bytes.size()),
+          &issue);
+      if (!parsed) {
+        std::cerr << path << ": " << issue.render() << '\n';
+        ++bad;
+        continue;
+      }
+      std::cout << path << ": ok\n"
+                << "  name: " << parsed->name << " (family "
+                << proto::to_string(parsed->id) << ")\n"
+                << "  framing: " << profile::to_string(parsed->framing)
+                << ", topology: " << profile::to_string(parsed->topology)
+                << ", commands: " << parsed->commands.size() << '\n'
+                << "  hash: " << hash_hex(parsed->content_hash()) << '\n';
+      if (const auto* b = profile::Registry::builtin().by_name(parsed->name)) {
+        std::cout << "  builtin '" << parsed->name << "': "
+                  << (*b == *parsed ? "identical (studies stay bit-identical)"
+                                    : "OVERRIDDEN (studies will differ)")
+                  << '\n';
+      }
+    }
+    return bad > 0 ? 2 : 0;
+  }
+  if (sub == "dump") {
+    const std::string dir =
+        args.positional.size() > 1 ? args.positional[1] : "profiles";
+    std::filesystem::create_directories(dir);
+    for (const auto* p : profile::Registry::builtin().all()) {
+      std::string name = p->name;
+      for (auto& c : name) c = static_cast<char>(std::tolower(c));
+      const auto path = dir + "/" + name + ".json";
+      std::ofstream out(path);
+      if (!out) throw std::runtime_error("cannot write " + path);
+      out << p->to_pretty_json();
+      std::cout << "wrote " << path << " (hash "
+                << hash_hex(p->content_hash()) << ")\n";
+    }
+    return 0;
+  }
+  usage();
+}
+
 int cmd_json_check(const Args& args) {
   if (args.positional.empty()) usage();
   const auto& path = args.positional[0];
@@ -860,6 +962,7 @@ int main(int argc, char** argv) {
     if (cmd == "dossier") return cmd_dossier(args);
     if (cmd == "digest") return cmd_digest(args);
     if (cmd == "export-rules") return cmd_export_rules(args);
+    if (cmd == "profile") return cmd_profile(args);
     if (cmd == "json-check") return cmd_json_check(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
